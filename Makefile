@@ -1,0 +1,31 @@
+PYTHON ?= python
+
+.PHONY: install test bench bench-full experiments examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q --ignore=tests/properties
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro experiments
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

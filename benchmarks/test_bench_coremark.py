@@ -1,0 +1,30 @@
+"""E5 (paper section V-D): CoreMark score, normal vs confidential VM."""
+
+from repro.bench import paper_data
+from repro.bench.macro import run_coremark_experiment
+from repro.bench.tables import format_comparison_table
+
+
+def test_bench_coremark(benchmark, print_table, full_scale):
+    iterations = 10_000 if full_scale else 1_500
+    result = benchmark.pedantic(
+        run_coremark_experiment, kwargs={"iterations": iterations},
+        rounds=1, iterations=1,
+    )
+    paper = paper_data.COREMARK
+    rows = [
+        ("normal VM", {"measured": result["normal_score"], "paper": paper["normal_score"]}),
+        ("confidential VM", {"measured": result["cvm_score"], "paper": paper["cvm_score"]}),
+        ("drop %", {"measured": result["overhead_pct"], "paper": paper["overhead_pct"]}),
+    ]
+    print_table(
+        format_comparison_table(
+            "E5 CoreMark",
+            rows,
+            [("measured", "measured", ".2f"), ("paper", "paper", ".2f")],
+        )
+    )
+    # Scores within 5% of the paper's; drop within half a point of 2.77%.
+    assert abs(result["normal_score"] - paper["normal_score"]) / paper["normal_score"] < 0.05
+    assert abs(result["cvm_score"] - paper["cvm_score"]) / paper["cvm_score"] < 0.05
+    assert abs(result["overhead_pct"] - paper["overhead_pct"]) < 0.5

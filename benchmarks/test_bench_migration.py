@@ -1,0 +1,74 @@
+"""Migration-cost bench (extension): downtime vs. guest memory footprint.
+
+Not a paper table -- quantifies the migration extension (DESIGN.md sec. 7):
+export + import cycle cost ("downtime", since this is stop-and-copy) as the
+guest's resident memory grows, and the blob-size overhead of sealing.
+"""
+
+from repro import Machine, MachineConfig
+from repro.bench.tables import format_comparison_table, human_bytes
+from repro.mem.physmem import PAGE_SIZE
+from repro.sm.migration import derive_migration_key
+from repro.workloads.memstress import sequential_write_stress
+
+
+def run_migration_cost(footprints=(256 << 10, 1 << 20, 4 << 20)) -> dict:
+    key = derive_migration_key(b"fleet", b"bench-src", b"bench-dst")
+    rows = {}
+    for footprint in footprints:
+        source = Machine(MachineConfig())
+        session = source.launch_confidential_vm(image=b"mig" * 300)
+        source.run(session, sequential_write_stress(footprint // PAGE_SIZE))
+        with source.ledger.span() as export_span:
+            blob = source.export_confidential_vm(session, key)
+        destination = Machine(MachineConfig())
+        with destination.ledger.span() as import_span:
+            migrated = destination.import_confidential_vm(blob, key)
+        # The migrated guest must be immediately runnable.
+        destination.run(migrated, lambda ctx: ctx.compute(1000))
+        rows[footprint] = {
+            "blob_bytes": len(blob),
+            "export_cycles": export_span.cycles,
+            "import_cycles": import_span.cycles,
+            "downtime_ms": (export_span.cycles + import_span.cycles) / 100_000,
+        }
+    return rows
+
+
+def test_bench_migration_cost(benchmark, print_table):
+    result = benchmark.pedantic(run_migration_cost, rounds=1, iterations=1)
+    rows = [
+        (
+            human_bytes(footprint),
+            {
+                "blob": row["blob_bytes"] / 1024,
+                "export": row["export_cycles"],
+                "import": row["import_cycles"],
+                "downtime": row["downtime_ms"],
+            },
+        )
+        for footprint, row in result.items()
+    ]
+    print_table(
+        format_comparison_table(
+            "migration cost",
+            rows,
+            [
+                ("blob", "blob (KB)", ".0f"),
+                ("export", "export (cyc)", ".0f"),
+                ("import", "import (cyc)", ".0f"),
+                ("downtime", "downtime (ms)", ".2f"),
+            ],
+        )
+    )
+    footprints = sorted(result)
+    # Cost scales with resident memory (stop-and-copy), roughly linearly.
+    small, large = result[footprints[0]], result[footprints[-1]]
+    ratio = footprints[-1] / footprints[0]
+    cost_ratio = (large["export_cycles"] + large["import_cycles"]) / (
+        small["export_cycles"] + small["import_cycles"]
+    )
+    assert 0.3 * ratio < cost_ratio < 1.7 * ratio
+    # Sealing overhead is bounded: blob ~= memory + O(KB) of metadata.
+    for footprint in footprints:
+        assert result[footprint]["blob_bytes"] < footprint + (64 << 10) + footprint // 8

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Red-team demo: a fully compromised hypervisor attacks a CVM.
+
+ZION's threat model lets the hypervisor be arbitrarily malicious.  This
+example plays that adversary through the same interfaces real host
+software has -- PMP-checked memory, the shared vCPU page, the shared
+page-table subtree, DMA-capable devices -- and shows each attack failing
+against the SM's defences, while the legitimate paths keep working.
+"""
+
+from repro import Machine, MachineConfig, SecurityViolation, TrapRaised
+from repro.isa.privilege import PrivilegeMode
+from repro.mem.pagetable import Sv39x4
+
+
+def attack(name):
+    def decorator(fn):
+        fn.attack_name = name
+        return fn
+
+    return decorator
+
+
+@attack("read CVM memory directly")
+def attack_direct_read(machine, session):
+    class Raw:
+        def read_u64(self, addr):
+            return machine.dram.read_u64(addr)
+
+    pa = Sv39x4().walk(Raw(), session.cvm.hgatp_root, session.layout.dram_base).pa
+    machine.bus.cpu_read(machine.hart, pa, 64)
+
+
+@attack("rewrite the CVM's stage-2 root")
+def attack_page_table(machine, session):
+    machine.bus.cpu_write_u64(machine.hart, session.cvm.hgatp_root, 0)
+
+
+@attack("DMA into the secure pool")
+def attack_dma(machine, session):
+    pool_base = machine.monitor.pool.regions[0][0]
+    machine.bus.dma_write(source_id=9, addr=pool_base, data=b"\xff" * 64)
+
+
+@attack("hijack an MMIO reply into the stack pointer (TOCTOU)")
+def attack_toctou(machine, session):
+    cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+    ws = machine.monitor.world_switch
+    ws.enter_cvm(machine.hart, cvm, vcpu)
+    ws.exit_to_normal(
+        machine.hart, cvm, vcpu,
+        {"kind": "mmio_load", "cause": 21, "htval": 0x1000_0000,
+         "htinst": 0x503, "gpr_index": 10, "gpr_value": 0},
+    )
+    shared = cvm.shared_vcpus[0]
+    shared.hyp_write(machine.hart, "gpr_index", 2)  # sp, not a0
+    shared.hyp_write(machine.hart, "gpr_value", 0x41414141)
+    shared.hyp_write(machine.hart, "sepc_advance", 4)
+    ws.enter_cvm(machine.hart, cvm, vcpu)
+
+
+@attack("inject a machine-level interrupt into the guest")
+def attack_irq_injection(machine, session):
+    cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+    ws = machine.monitor.world_switch
+    ws.enter_cvm(machine.hart, cvm, vcpu)
+    ws.exit_to_normal(machine.hart, cvm, vcpu, {"kind": "wfi", "cause": 0})
+    cvm.shared_vcpus[0].hyp_write(machine.hart, "pending_irq", 1 << 7)  # MTI
+    ws.enter_cvm(machine.hart, cvm, vcpu)
+
+
+@attack("alias a shared GPA onto another CVM's secure memory")
+def attack_shared_alias(machine, session):
+    handle = session.handle
+    subtree = next(iter(handle.shared_subtrees.values()))
+    pool_page = machine.monitor.pool.regions[0][0]
+    level1 = (machine.bus.cpu_read_u64(machine.hart, subtree) >> 10) << 12
+    machine.bus.cpu_write_u64(
+        machine.hart, level1, (pool_page >> 12) << 10 | 0b10111 | 0x80
+    )
+    machine.translator.tlb.flush_all()
+    machine.run(session, lambda ctx: ctx.load(session.layout.shared_base))
+
+
+@attack("link a secure-pool page as a shared subtree")
+def attack_subtree_link(machine, session):
+    pool_page = machine.monitor.pool.regions[0][0]
+    machine.monitor.ecall_link_shared_subtree(session.cvm.cvm_id, 300, pool_page)
+
+
+def main():
+    attacks = [
+        attack_direct_read,
+        attack_page_table,
+        attack_dma,
+        attack_toctou,
+        attack_irq_injection,
+        attack_shared_alias,
+        attack_subtree_link,
+    ]
+    results = []
+    for fn in attacks:
+        # Fresh victim per attack so failed attempts can't interact.
+        machine = Machine(MachineConfig())
+        session = machine.launch_confidential_vm(image=b"victim-guest" * 300)
+        machine.hart.mode = PrivilegeMode.HS  # the hypervisor is running
+        try:
+            fn(machine, session)
+        except TrapRaised as trap:
+            results.append((fn.attack_name, f"BLOCKED by hardware ({trap.cause.name})"))
+        except SecurityViolation as violation:
+            reason = str(violation).split(":")[0]
+            results.append((fn.attack_name, f"BLOCKED by the SM ({reason})"))
+        else:
+            results.append((fn.attack_name, "SUCCEEDED -- security bug!"))
+
+    width = max(len(name) for name, _ in results)
+    for name, outcome in results:
+        print(f"  {name:<{width}}  ->  {outcome}")
+    assert all("BLOCKED" in outcome for _, outcome in results)
+
+    # And the legitimate path still works after all that hostility:
+    machine = Machine(MachineConfig())
+    session = machine.launch_confidential_vm(image=b"victim-guest" * 300)
+    machine.attach_virtio_block(session)
+
+    def workload(ctx):
+        blk = ctx.blk_driver()
+        blk.write(0, b"legitimate I/O".ljust(512, b"\x00"))
+        return blk.read(0, 512)[:14]
+
+    assert machine.run(session, workload)["workload_result"] == b"legitimate I/O"
+    print("\nall attacks blocked; legitimate virtio I/O unaffected")
+
+
+if __name__ == "__main__":
+    main()

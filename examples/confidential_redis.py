@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""A confidential in-memory database: Redis inside a ZION CVM.
+
+The paper's motivating scenario: a tenant runs a memory-resident database
+holding sensitive data on an untrusted cloud host.  This example runs the
+same Redis workload (real RESP protocol over virtio-net, SWIOTLB bounce
+buffers) in a normal VM and in a confidential VM, prints the throughput /
+latency cost of confidentiality, and then shows what the "cloud provider"
+can and cannot see in each case.
+"""
+
+from repro import Machine, MachineConfig, TrapRaised
+from repro.isa.privilege import PrivilegeMode
+from repro.workloads.redis import redis_benchmark
+
+
+def run_one(kind: str, op: str, requests: int):
+    machine = Machine(MachineConfig())
+    if kind == "confidential":
+        session = machine.launch_confidential_vm(image=b"redis-server-6.2" * 64)
+    else:
+        session = machine.launch_normal_vm("redis-vm")
+    machine.attach_virtio_net(session)
+    stats = redis_benchmark(machine, session, op, requests)
+    return machine, session, stats
+
+
+def main():
+    requests = 400
+    print(f"{'op':<8} {'normal rps':>11} {'CVM rps':>9} {'drop':>7} "
+          f"{'normal lat':>11} {'CVM lat':>9}")
+    for op in ("SET", "GET", "INCR", "LRANGE_100"):
+        _, _, normal = run_one("normal", op, requests)
+        machine, session, cvm = run_one("confidential", op, requests)
+        drop = 100 * (1 - cvm["throughput_rps"] / normal["throughput_rps"])
+        print(f"{op:<8} {normal['throughput_rps']:>11.0f} "
+              f"{cvm['throughput_rps']:>9.0f} {drop:>6.2f}% "
+              f"{normal['avg_latency_us']:>9.0f}us {cvm['avg_latency_us']:>7.0f}us")
+
+    # --- what the provider sees -------------------------------------------
+    print("\nprovider's view of the confidential database:")
+    machine, session, _ = run_one("confidential", "SET", 50)
+    machine.hart.mode = PrivilegeMode.HS
+
+    # 1. The database contents live in PMP-protected pool pages.
+    pool_base, pool_size = machine.monitor.pool.regions[0]
+    blocked = 0
+    for offset in range(0, pool_size, pool_size // 16):
+        try:
+            machine.bus.cpu_read(machine.hart, pool_base + offset, 64)
+        except TrapRaised:
+            blocked += 1
+    print(f"  direct reads of secure memory: {blocked}/16 blocked by PMP")
+
+    # 2. DMA cannot be used as a side door.
+    try:
+        machine.bus.dma_read(source_id=2, addr=pool_base, size=64)
+        print("  DMA read of secure memory: ALLOWED (bug!)")
+    except TrapRaised:
+        print("  DMA read of secure memory: blocked by IOPMP")
+
+    # 3. What legitimately crosses: the shared window (bounce buffers).
+    #    It holds protocol bytes in flight -- which is why real deployments
+    #    add TLS; ZION's job is memory isolation, not wire encryption.
+    window = session.handle.shared_window_base
+    sample = machine.bus.cpu_read(machine.hart, window, 32)
+    print(f"  shared window (virtio bounce area) is visible, e.g. {sample[:16]!r}")
+
+    print("\nconfidential database demo OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Multi-tenant scalability: many concurrent CVMs on one secure pool.
+
+CURE and VirTEE bind each enclave to dedicated hardware resources and top
+out at 13 concurrent VM enclaves.  ZION's PMP-plus-paging design shares
+one PMP-carved pool among *all* CVMs -- stage-2 tables provide the
+pairwise isolation -- so the CVM count is bounded by memory, not by PMP
+entries.  This example launches 32 CVMs, runs each, verifies pairwise
+frame disjointness, and shows the PMP entry budget stayed flat.
+"""
+
+from repro import Machine, MachineConfig
+from repro.mem.pagetable import Sv39x4
+
+TENANTS = 32
+
+
+def main():
+    machine = Machine(MachineConfig(initial_pool_bytes=64 << 20))
+    print(f"PMP entries in use at boot: {machine.pmp_controller.pmp_entries_used}/16")
+
+    sessions = []
+    for tenant in range(TENANTS):
+        image = f"tenant-{tenant:02d}-workload".encode() * 64
+        session = machine.launch_confidential_vm(image=image, shared_window=1 << 20)
+        sessions.append(session)
+    print(f"launched {len(sessions)} concurrent CVMs "
+          f"(CURE/VirTEE top out at 13)")
+
+    # Run a slice of work in each tenant; memory written by one must never
+    # be resolvable by another.
+    for tenant, session in enumerate(sessions):
+        def workload(ctx, t=tenant, s=session):
+            base = s.layout.dram_base + (8 << 20)
+            ctx.write_bytes(base, f"tenant {t} secret".encode())
+            ctx.compute(100_000)
+            return ctx.read_bytes(base, 16)
+
+        result = machine.run(session, workload)
+        assert result["workload_result"].startswith(f"tenant {tenant}".encode())
+
+    # Pairwise stage-2 disjointness, checked against the *real* tables.
+    class Raw:
+        def read_u64(self, addr):
+            return machine.dram.read_u64(addr)
+
+    frames = {}
+    walker = Sv39x4()
+    for session in sessions:
+        cvm = session.cvm
+        frames[cvm.cvm_id] = {
+            pa
+            for _va, pa, _flags, _level in walker.iter_leaves(Raw(), cvm.hgatp_root)
+            if machine.monitor.pool.contains(pa, 1)  # private frames only
+        }
+    ids = sorted(frames)
+    overlaps = 0
+    for i, a in enumerate(ids):
+        for b in ids[i + 1:]:
+            overlaps += len(frames[a] & frames[b])
+    print(f"pairwise private-frame overlaps across {len(ids)} CVMs: {overlaps}")
+    assert overlaps == 0
+
+    print(f"PMP entries in use with {TENANTS} CVMs: "
+          f"{machine.pmp_controller.pmp_entries_used}/16 "
+          f"(pool regions: {len(machine.monitor.pool.regions)})")
+    print(f"pool expansions performed by the host on demand: "
+          f"{machine.hypervisor.pool_expansions}")
+
+    # Tear one tenant down; its frames are scrubbed and recycled.
+    victim = sessions[0].cvm
+    victim_frames = sorted(frames[victim.cvm_id])
+    machine.monitor.ecall_destroy(victim.cvm_id)
+    scrubbed = all(
+        machine.dram.read(pa, 64) == bytes(64) for pa in victim_frames[:8]
+    )
+    print(f"tenant 0 destroyed; sampled frames scrubbed: {scrubbed}")
+    assert scrubbed
+
+    print("multi-tenant demo OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Remote attestation end to end: provisioning secrets to a measured CVM.
+
+The full tenant workflow on an untrusted cloud:
+
+1. the tenant knows the launch measurement of the image they built;
+2. the cloud launches CVMs -- one honest, one the provider swapped;
+3. the tenant's verifier challenges both and provisions a secret only to
+   the one whose evidence checks out (signature, measurement policy,
+   challenge freshness);
+4. the secret crosses the host sealed under the attested session key, so
+   even though the hypervisor carries the bytes, it learns nothing.
+"""
+
+from repro import Machine, MachineConfig
+from repro.attest_protocol import (
+    AttestationError,
+    GuestAttestationAgent,
+    Verifier,
+    agree_session_key,
+    open_message,
+    seal_message,
+)
+
+TRUSTED_IMAGE = b"inference-server-v2.0" * 120
+ROGUE_IMAGE = b"provider-backdoored-build" * 96
+
+
+def attest_and_provision(machine, session, verifier, secret):
+    """The tenant side: challenge, verify, seal the secret to the guest."""
+    challenge = verifier.challenge()
+
+    def guest_respond(ctx):
+        agent = GuestAttestationAgent(ctx)
+        return agent, agent.respond(challenge)
+
+    agent, evidence = machine.run(session, guest_respond)["workload_result"]
+    verifier_share = verifier.verify(challenge, evidence)  # may raise
+    key = agree_session_key(agent, verifier_share)
+    sealed = seal_message(key, secret)
+
+    # The sealed blob travels through the untrusted host to the guest.
+    def guest_receive(ctx):
+        return open_message(key, sealed)
+
+    received = machine.run(session, guest_receive)["workload_result"]
+    return sealed, received
+
+
+def main():
+    # The tenant computes the expected measurement by launching the image
+    # in their own trusted environment (or from the build system).
+    reference = Machine(MachineConfig())
+    expected = reference.launch_confidential_vm(image=TRUSTED_IMAGE).cvm.measurement
+    print(f"tenant policy: trust measurement {expected.hex()[:24]}...")
+
+    cloud = Machine(MachineConfig())
+    honest = cloud.launch_confidential_vm(image=TRUSTED_IMAGE)
+    rogue = cloud.launch_confidential_vm(image=ROGUE_IMAGE)
+    verifier = Verifier(
+        platform_verifier=cloud.monitor.attestation,
+        trusted_measurements=[expected],
+    )
+
+    secret = b"model-weights-decryption-key-0xA1B2C3"
+    sealed, received = attest_and_provision(cloud, honest, verifier, secret)
+    print(f"honest CVM: attested, received secret ({received[:21].decode()}...)")
+    assert received == secret
+    assert secret not in sealed
+    print(f"  in transit the host saw only ciphertext ({sealed[:12].hex()}...)")
+
+    try:
+        attest_and_provision(cloud, rogue, verifier, secret)
+        print("rogue CVM: provisioned -- POLICY FAILURE")
+    except AttestationError as rejection:
+        print(f"rogue CVM: rejected ({rejection})")
+
+    print("remote attestation demo OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The project is fully described by pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks
+PEP 660 editable-wheel support (no ``wheel`` package available).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of ZION: a practical confidential VM architecture "
+        "on commodity RISC-V (DAC 2025), as a functional simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,56 @@
+"""ZION reproduction: a confidential-VM architecture for commodity RISC-V.
+
+This package reproduces *ZION: A Practical Confidential Virtual Machine
+Architecture on Commodity RISC-V Processors* (DAC 2025) as a functional
+simulation: the RISC-V privileged architecture (PMP, IOPMP, trap
+delegation, the hypervisor extension, two-stage translation) is modelled in
+:mod:`repro.isa` and :mod:`repro.mem`, the ZION Secure Monitor -- the
+paper's contribution -- is implemented in full in :mod:`repro.sm`, and the
+untrusted host stack (KVM-like hypervisor, QEMU-like device emulation,
+virtio, SWIOTLB) lives in :mod:`repro.hyp`.  A calibrated cycle-accounting
+model (:mod:`repro.cycles`) lets the benchmark harness regenerate every
+table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Machine, MachineConfig
+
+    machine = Machine(MachineConfig())
+    cvm = machine.create_confidential_vm(memory_bytes=64 << 20)
+    ...
+"""
+
+from repro.cycles import Category, CycleCosts, CycleLedger, DEFAULT_COSTS
+from repro.errors import (
+    ConfigurationError,
+    EcallError,
+    ReproError,
+    SecurityViolation,
+    TrapRaised,
+)
+from repro.machine import Machine, MachineConfig
+from repro.analysis import machine_stats, overhead_report
+from repro.trace import Tracer
+from repro.verify import assert_invariants, check_invariants
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "Category",
+    "CycleCosts",
+    "CycleLedger",
+    "DEFAULT_COSTS",
+    "ReproError",
+    "ConfigurationError",
+    "SecurityViolation",
+    "EcallError",
+    "TrapRaised",
+    "machine_stats",
+    "overhead_report",
+    "Tracer",
+    "check_invariants",
+    "assert_invariants",
+    "__version__",
+]

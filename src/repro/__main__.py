@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiments [--full] [--only E1,E4,...]`` — regenerate the paper's
+  tables/figures (the same runners the benchmark suite uses);
+- ``demo`` — the quickstart flow with a stats report;
+- ``attack`` — run the hypervisor attack battery and report outcomes;
+- ``stats`` — launch a CVM, run a mixed workload, print the full
+  machine statistics snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_experiments(args) -> int:
+    from repro.bench import paper_data
+    from repro.bench.macro import (
+        run_coremark_experiment,
+        run_iozone_experiment,
+        run_redis_experiment,
+        run_rv8_experiment,
+    )
+    from repro.bench.microbench import (
+        run_page_fault_experiment,
+        run_switch_path_experiment,
+        run_vcpu_switch_experiment,
+    )
+
+    full = args.full
+    selected = set(args.only.upper().split(",")) if args.only else None
+
+    def want(tag):
+        return selected is None or tag in selected
+
+    if want("E1"):
+        r = run_vcpu_switch_experiment(iterations=200 if full else 50)
+        print("E1 shared vCPU: entry {:.0f}->{:.0f} (-{:.1f}%), exit {:.0f}->{:.0f} (-{:.1f}%)".format(
+            r["entry_without_shared"], r["entry_with_shared"], r["entry_improvement_pct"],
+            r["exit_without_shared"], r["exit_with_shared"], r["exit_improvement_pct"]))
+    if want("E2"):
+        r = run_switch_path_experiment(iterations=200 if full else 50)
+        print("E2 switch path: entry long {:.0f} short {:.0f} (-{:.1f}%), exit long {:.0f} short {:.0f} (-{:.1f}%)".format(
+            r["entry_long_path"], r["entry_short_path"], r["entry_improvement_pct"],
+            r["exit_long_path"], r["exit_short_path"], r["exit_improvement_pct"]))
+    if want("E3"):
+        r = run_page_fault_experiment(pages=2048 if full else 512)
+        print("E3 faults: KVM {:.0f}, CVM s1 {:.0f} s2 {:.0f} s3 {:.0f} avg {:.0f}".format(
+            r["normal_vm"], r["cvm_stage1"], r["cvm_stage2"], r["cvm_stage3"], r["cvm_average"]))
+    if want("E4"):
+        r = run_rv8_experiment(scale=0.1 if full else 0.01)
+        for name, row in r["benchmarks"].items():
+            print(f"E4 {name}: {row['overhead_pct']:+.2f}% (paper {row['paper_overhead_pct']:+.2f}%)")
+        print(f"E4 average: {r['average_overhead_pct']:+.2f}% (paper {paper_data.RV8_AVERAGE_OVERHEAD_PCT:+.2f}%)")
+    if want("E5"):
+        r = run_coremark_experiment(iterations=10_000 if full else 1_500)
+        print(f"E5 CoreMark: {r['normal_score']:.1f} -> {r['cvm_score']:.1f} ({r['overhead_pct']:.2f}% drop)")
+    if want("E6"):
+        r = run_redis_experiment(requests=2_000 if full else 300)
+        print(f"E6 Redis: throughput {r['avg_throughput_drop_pct']:+.2f}% "
+              f"latency {r['avg_latency_increase_pct']:+.2f}%")
+    if want("E7"):
+        r = run_iozone_experiment(size_scale=1 if full else 4)
+        worst = max(r["cells"], key=lambda c: c["read_overhead_pct"])
+        print(f"E7 IOZone: worst overhead {worst['read_overhead_pct']:+.2f}% read "
+              f"at {worst['file_bytes'] >> 20} MB / {worst['record_bytes'] >> 10} KB records")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro import Machine, MachineConfig
+    from repro.analysis import machine_stats, render_stats
+
+    machine = Machine(MachineConfig())
+    session = machine.launch_confidential_vm(image=b"demo-guest" * 200)
+
+    def workload(ctx):
+        base = session.layout.dram_base + (16 << 20)
+        ctx.write_bytes(base, b"demo secret")
+        ctx.compute(3_000_000)
+        return ctx.attestation_report(b"cli-demo")
+
+    report = machine.run(session, workload)["workload_result"]
+    print(f"CVM {session.cvm.cvm_id} measurement: {report.measurement.hex()[:32]}...")
+    print(f"report verified: {machine.monitor.attestation.verify_report(report)}")
+    print(render_stats(machine_stats(machine)))
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro import Machine, MachineConfig, SecurityViolation, TrapRaised
+    from repro.isa.privilege import PrivilegeMode
+
+    machine = Machine(MachineConfig())
+    session = machine.launch_confidential_vm(image=b"victim" * 400)
+    machine.hart.mode = PrivilegeMode.HS
+    pool = machine.monitor.pool.regions[0][0]
+    attacks = {
+        "pmp read": lambda: machine.bus.cpu_read(machine.hart, pool, 8),
+        "pmp write": lambda: machine.bus.cpu_write(machine.hart, pool, b"x"),
+        "page-table write": lambda: machine.bus.cpu_write_u64(
+            machine.hart, session.cvm.hgatp_root, 0
+        ),
+        "dma": lambda: machine.bus.dma_read(0, pool, 8),
+        "subtree link": lambda: machine.monitor.ecall_link_shared_subtree(
+            session.cvm.cvm_id, 300, pool
+        ),
+    }
+    blocked = 0
+    for name, attack in attacks.items():
+        try:
+            attack()
+            print(f"{name}: SUCCEEDED (security bug!)")
+        except (TrapRaised, SecurityViolation) as failure:
+            print(f"{name}: blocked ({type(failure).__name__})")
+            blocked += 1
+    return 0 if blocked == len(attacks) else 1
+
+
+def _cmd_stats(args) -> int:
+    from repro import Machine, MachineConfig
+    from repro.analysis import machine_stats, render_stats
+
+    machine = Machine(MachineConfig())
+    session = machine.launch_confidential_vm(image=b"stats" * 200)
+    machine.attach_virtio_block(session)
+
+    def workload(ctx):
+        blk = ctx.blk_driver()
+        ctx.compute(2_500_000)
+        for i in range(8):
+            blk.write(i * 8, bytes(4096))
+        ctx.mmio_read(0x1000_1000 + 0x70)
+
+    machine.run(session, workload)
+    print(render_stats(machine_stats(machine)))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ZION reproduction: experiments, demos, diagnostics",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    experiments = sub.add_parser("experiments", help="regenerate paper results")
+    experiments.add_argument("--full", action="store_true", help="paper-scale loads")
+    experiments.add_argument("--only", help="comma-separated subset, e.g. E1,E4")
+    experiments.set_defaults(func=_cmd_experiments)
+    demo = sub.add_parser("demo", help="quickstart demo with stats")
+    demo.set_defaults(func=_cmd_demo)
+    attack = sub.add_parser("attack", help="hypervisor attack battery")
+    attack.set_defaults(func=_cmd_attack)
+    stats = sub.add_parser("stats", help="run a mixed workload, dump stats")
+    stats.set_defaults(func=_cmd_stats)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Run analysis: machine statistics and cycle-breakdown reporting.
+
+A downstream user debugging CVM overhead needs to see where time and
+events went: this module consolidates the counters every layer already
+maintains (ledger categories, TLB hit rates, fault stages, exit reasons,
+pool occupancy, PMP budget) into one structured snapshot, plus
+human-readable rendering for reports and examples.
+"""
+
+from __future__ import annotations
+
+from repro.cycles import Category
+from repro.sm.alloc import AllocStage
+
+
+def machine_stats(machine) -> dict:
+    """A structured snapshot of every diagnostic counter in the machine."""
+    tlb = machine.translator.tlb
+    lookups = tlb.hits + tlb.misses
+    pool = machine.monitor.pool
+    stats = {
+        "cycles": {
+            "total": machine.ledger.total,
+            "by_category": {
+                category.value: cycles
+                for category, cycles in sorted(
+                    machine.ledger.by_category().items(), key=lambda kv: -kv[1]
+                )
+            },
+        },
+        "tlb": {
+            "hits": tlb.hits,
+            "misses": tlb.misses,
+            "hit_rate": tlb.hits / lookups if lookups else None,
+            "flushes": tlb.flushes,
+        },
+        "faults": {
+            stage.name.lower(): count
+            for stage, count in machine.monitor.fault_stage_counts.items()
+        },
+        "pool": {
+            "regions": len(pool.regions),
+            "free_blocks": pool.free_blocks,
+            "registered_bytes": sum(size for _base, size in pool.regions),
+        },
+        "pmp_entries_used": machine.pmp_controller.pmp_entries_used,
+        "hypervisor": {
+            "mmio_exits": machine.hypervisor.mmio_exits,
+            "pool_expansions": machine.hypervisor.pool_expansions,
+            "normal_vms": len(machine.hypervisor.normal_vms),
+        },
+        "cvms": {
+            cvm_id: {
+                "state": cvm.state.value,
+                "entries": cvm.entry_count,
+                "exits": cvm.exit_count,
+                "exit_reasons": dict(cvm.exit_reasons),
+            }
+            for cvm_id, cvm in machine.monitor.cvms.items()
+        },
+    }
+    return stats
+
+
+def overhead_report(normal_breakdown: dict, cvm_breakdown: dict) -> list:
+    """Per-category deltas between a normal-VM and a CVM run.
+
+    Both arguments are ``{Category: cycles}`` breakdowns from
+    :meth:`repro.Machine.run` results.  Returns rows sorted by absolute
+    delta, answering "where does the confidential overhead live?".
+    """
+    categories = set(normal_breakdown) | set(cvm_breakdown)
+    rows = []
+    for category in categories:
+        normal = normal_breakdown.get(category, 0)
+        confidential = cvm_breakdown.get(category, 0)
+        rows.append(
+            {
+                "category": category.value if isinstance(category, Category) else category,
+                "normal": normal,
+                "cvm": confidential,
+                "delta": confidential - normal,
+            }
+        )
+    rows.sort(key=lambda row: -abs(row["delta"]))
+    return rows
+
+
+def render_stats(stats: dict) -> str:
+    """Human-readable rendering of :func:`machine_stats` output."""
+    lines = [f"total cycles: {stats['cycles']['total']:,}"]
+    for name, cycles in stats["cycles"]["by_category"].items():
+        lines.append(f"  {name:<14} {cycles:>14,}")
+    tlb = stats["tlb"]
+    if tlb["hit_rate"] is not None:
+        lines.append(
+            f"TLB: {tlb['hits']:,} hits / {tlb['misses']:,} misses "
+            f"({tlb['hit_rate']:.1%}), {tlb['flushes']} flushes"
+        )
+    lines.append(
+        "faults: " + ", ".join(f"{k}={v}" for k, v in stats["faults"].items())
+    )
+    pool = stats["pool"]
+    lines.append(
+        f"pool: {pool['registered_bytes'] >> 20} MB in {pool['regions']} region(s), "
+        f"{pool['free_blocks']} free blocks; PMP entries {stats['pmp_entries_used']}/16"
+    )
+    for cvm_id, info in stats["cvms"].items():
+        reasons = ", ".join(f"{k}:{v}" for k, v in info["exit_reasons"].items())
+        lines.append(
+            f"CVM {cvm_id} [{info['state']}]: {info['entries']} entries / "
+            f"{info['exits']} exits ({reasons})"
+        )
+    return "\n".join(lines)

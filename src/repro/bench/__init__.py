@@ -1,0 +1,34 @@
+"""Experiment harness: runners and paper-reference data for E1-E7.
+
+Each experiment in DESIGN.md's per-experiment index has a runner here
+returning structured results, plus the paper's reported numbers
+(:mod:`repro.bench.paper_data`) so every benchmark can print a
+measured-vs-paper comparison.  The ``benchmarks/`` directory wraps these
+in pytest-benchmark targets, one per table/figure.
+"""
+
+from repro.bench import paper_data
+from repro.bench.microbench import (
+    run_page_fault_experiment,
+    run_switch_path_experiment,
+    run_vcpu_switch_experiment,
+)
+from repro.bench.macro import (
+    run_coremark_experiment,
+    run_iozone_experiment,
+    run_redis_experiment,
+    run_rv8_experiment,
+)
+from repro.bench.tables import format_comparison_table
+
+__all__ = [
+    "paper_data",
+    "run_vcpu_switch_experiment",
+    "run_switch_path_experiment",
+    "run_page_fault_experiment",
+    "run_rv8_experiment",
+    "run_coremark_experiment",
+    "run_redis_experiment",
+    "run_iozone_experiment",
+    "format_comparison_table",
+]

@@ -1,0 +1,87 @@
+"""Every number the paper's evaluation section reports (section V).
+
+These are the reproduction targets.  Units are cycles unless noted.
+"""
+
+# --- E1: shared-vCPU optimization (section V-B.1) -------------------------
+VCPU_SWITCH = {
+    "entry_without_shared": 5_293,
+    "entry_with_shared": 4_191,
+    "entry_improvement_pct": 20.8,
+    "exit_without_shared": 3_267,
+    "exit_with_shared": 2_524,
+    "exit_improvement_pct": 22.74,
+}
+
+# --- E2: short-path vs long-path CVM mode (section V-B.2) ------------------
+SWITCH_PATH = {
+    "entry_long_path": 7_282,
+    "entry_short_path": 4_028,
+    "entry_improvement_pct": 44.7,
+    "exit_long_path": 5_384,
+    "exit_short_path": 2_406,
+    "exit_improvement_pct": 55.3,
+}
+
+# --- E3: stage-2 page-fault handling (section V-C) --------------------------
+PAGE_FAULT = {
+    "normal_vm": 39_607,
+    "cvm_stage1": 31_103,
+    "cvm_stage2": 34_729,
+    "cvm_stage3": 57_152,
+    "cvm_average": 31_449,
+}
+
+# --- E4: RV8 benchmarks (Table I; baseline in 10^9 cycles) ------------------
+RV8_TABLE_I = {
+    "aes": {"normal_1e9": 6.312, "overhead_pct": 2.95},
+    "bigint": {"normal_1e9": 8.965, "overhead_pct": 2.73},
+    "dhrystone": {"normal_1e9": 4.144, "overhead_pct": 2.90},
+    "miniz": {"normal_1e9": 25.412, "overhead_pct": 1.92},
+    "norx": {"normal_1e9": 3.905, "overhead_pct": 2.79},
+    "primes": {"normal_1e9": 19.002, "overhead_pct": 1.81},
+    "qsort": {"normal_1e9": 2.148, "overhead_pct": 2.65},
+    "sha512": {"normal_1e9": 3.947, "overhead_pct": 2.93},
+}
+RV8_AVERAGE_OVERHEAD_PCT = 2.59
+
+# --- E5: CoreMark (section V-D) ------------------------------------------------
+COREMARK = {
+    "normal_score": 2_047.6,
+    "cvm_score": 1_992.3,
+    "overhead_pct": 2.77,
+}
+
+# --- E6: Redis benchmark (Fig. 3) ------------------------------------------------
+REDIS = {
+    "avg_throughput_drop_pct": 5.3,
+    "avg_latency_increase_pct": 4.0,
+    # The figure plots these operation types (redis-benchmark's set).
+    "ops": [
+        "SET", "GET", "INCR", "LPUSH", "RPUSH", "LPOP", "RPOP",
+        "SADD", "HSET", "SPOP", "LRANGE_100", "MSET",
+    ],
+    "rounds": 10,
+    "requests_per_round": 10_000,
+}
+
+# --- E7: IOZone (Fig. 4) -----------------------------------------------------------
+IOZONE = {
+    "file_sizes": [64 << 10, 512 << 10, 4 << 20, 32 << 20,
+                   128 << 20, 256 << 20, 512 << 20],
+    "record_sizes": [8 << 10, 128 << 10, 512 << 10],
+    "small_file_overhead_pct_max": 5.0,
+    "large_file_overhead_pct_max": 20.0,
+}
+
+# --- Platform -------------------------------------------------------------------------
+PLATFORM = {
+    "cores": 4,
+    "isa": "RV64 Rocket + H extension",
+    "clock_hz": 100_000_000,
+    "memory_bytes": 1 << 30,
+    "host_kernel": "Linux 5.19.16",
+}
+
+# --- Headline claim ---------------------------------------------------------------------
+HEADLINE = "ZION incurs less than 5% overhead in most real-world applications"

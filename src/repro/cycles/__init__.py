@@ -1,0 +1,19 @@
+"""Cycle-accounting model.
+
+The reproduction does not execute RV64 instructions; instead every
+architectural action performed by the simulated software stack (saving a
+register, walking a page table, reprogramming a PMP entry, ...) charges a
+calibrated number of cycles to a :class:`~repro.cycles.ledger.CycleLedger`.
+Totals for complex operations -- a CVM world switch, a stage-2 page fault --
+*emerge* from the sequence of primitive actions the code actually performs,
+which is what lets the paper's performance shape reproduce.
+
+Costs are calibrated against the paper's microbenchmarks (see
+``DESIGN.md`` section 5); the calibration constants live in
+:mod:`repro.cycles.costs`.
+"""
+
+from repro.cycles.costs import CycleCosts, DEFAULT_COSTS
+from repro.cycles.ledger import Category, CycleLedger
+
+__all__ = ["CycleCosts", "DEFAULT_COSTS", "Category", "CycleLedger"]

@@ -1,0 +1,97 @@
+"""Cycle ledger: where simulated time accrues.
+
+A :class:`CycleLedger` is the single clock of a simulated machine.  Every
+component charges cycles to it, tagged with a :class:`Category` so that
+experiments can break a total down (e.g. how much of a world switch was PMP
+reprogramming vs. register save).  Scoped spans (:meth:`CycleLedger.span`)
+measure the emergent cost of a compound operation without the operation
+having to thread counters through its call tree.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+from collections import defaultdict
+
+
+class Category(enum.Enum):
+    """What a charge of cycles was spent on."""
+
+    COMPUTE = "compute"  # guest useful work
+    TRAP = "trap"  # hardware trap entry/exit
+    REG_SAVE = "reg_save"  # GPR/CSR save+restore
+    VALIDATE = "validate"  # check-after-load / sanitising copies
+    PMP = "pmp"  # PMP / IOPMP reprogramming + fences
+    TLB = "tlb"  # TLB flushes and refills
+    PAGE_WALK = "page_walk"  # page-table walks
+    SM_LOGIC = "sm_logic"  # secure monitor bookkeeping
+    HYP_LOGIC = "hyp_logic"  # hypervisor / KVM / QEMU bookkeeping
+    ALLOC = "alloc"  # memory allocation paths
+    COPY = "copy"  # bulk data movement (bounce buffers, DMA)
+    DEVICE = "device"  # device model processing
+    GUEST_KERNEL = "guest_kernel"  # guest kernel trap/syscall handling
+    IDLE = "idle"  # time waiting (e.g. device latency)
+
+
+class CycleLedger:
+    """Accumulates simulated cycles, tagged by category.
+
+    The ledger is deliberately append-only: nothing ever subtracts cycles,
+    mirroring a hardware cycle counter.
+    """
+
+    def __init__(self):
+        self._total = 0
+        self._by_category = defaultdict(int)
+
+    @property
+    def total(self) -> int:
+        """All cycles charged so far (the simulated ``mcycle``)."""
+        return self._total
+
+    def by_category(self) -> dict:
+        """A snapshot of per-category totals."""
+        return dict(self._by_category)
+
+    def charge(self, category: Category, cycles) -> None:
+        """Charge ``cycles`` (int or float, floored at >=0) to ``category``."""
+        cycles = int(cycles)
+        if cycles < 0:
+            raise ValueError(f"cannot charge negative cycles: {cycles}")
+        self._total += cycles
+        self._by_category[category] += cycles
+
+    @contextlib.contextmanager
+    def span(self):
+        """Measure the cycles charged inside a ``with`` block.
+
+        Yields a :class:`Span` whose ``cycles`` and ``breakdown`` are valid
+        after the block exits.
+        """
+        span = Span(self)
+        try:
+            yield span
+        finally:
+            span.close()
+
+
+class Span:
+    """A window over a ledger measuring one compound operation."""
+
+    def __init__(self, ledger: CycleLedger):
+        self._ledger = ledger
+        self._start_total = ledger.total
+        self._start_by_cat = ledger.by_category()
+        self.cycles = 0
+        self.breakdown = {}
+
+    def close(self) -> None:
+        """Finalize the span's cycle count and category breakdown."""
+        self.cycles = self._ledger.total - self._start_total
+        end = self._ledger.by_category()
+        self.breakdown = {
+            cat: end[cat] - self._start_by_cat.get(cat, 0)
+            for cat in end
+            if end[cat] != self._start_by_cat.get(cat, 0)
+        }

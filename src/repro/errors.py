@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ZION reproduction.
+
+Simulator-level errors (bugs in how the simulation is driven) are kept
+distinct from *architectural* events (faults a real machine would raise),
+which are modelled as :class:`TrapRaised` and handled by the trap machinery
+rather than propagating to the caller.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, VM, or device was configured inconsistently."""
+
+
+class MemoryError_(ReproError):
+    """Out-of-range or unbacked physical memory access at simulator level."""
+
+
+class SecurityViolation(ReproError):
+    """An action that the ZION design forbids was attempted.
+
+    Raised when the simulation detects a breach of a security invariant that
+    the real system enforces by construction (e.g. the SM being asked to map
+    a frame already owned by another confidential VM). These are *simulation
+    assertions*: on real hardware the corresponding request would be refused
+    by the SM, and most call sites catch this to model that refusal.
+    """
+
+
+class EcallError(ReproError):
+    """An SM ECALL was invoked with invalid arguments."""
+
+
+class TrapRaised(ReproError):
+    """An architectural trap (exception) occurred during an access.
+
+    Carries the RISC-V cause and trap value so the dispatch machinery can
+    route it through the delegation rules exactly like hardware would.
+    """
+
+    def __init__(self, cause, tval=0, gpa=None, message=""):
+        super().__init__(message or f"trap: {cause!r} tval={tval:#x}")
+        self.cause = cause
+        self.tval = tval
+        #: Guest physical address for guest-page faults (goes to htval).
+        self.gpa = gpa

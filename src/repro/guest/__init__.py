@@ -1,0 +1,14 @@
+"""Guest-side software: the confidential VM's kernel-level components.
+
+The paper's guests run Linux with minor patches; here the corresponding
+guest-kernel behaviour is modelled directly: a SWIOTLB bounce-buffer
+allocator placed in the shared GPA region (:mod:`repro.guest.swiotlb`) and
+a virtio driver that stages all DMA through it
+(:mod:`repro.guest.virtio_driver`).  Both charge the same work a real
+driver performs (bounce copies, descriptor setup, interrupt handling).
+"""
+
+from repro.guest.swiotlb import Swiotlb
+from repro.guest.virtio_driver import VirtioBlkDriver, VirtioNetDriver
+
+__all__ = ["Swiotlb", "VirtioBlkDriver", "VirtioNetDriver"]

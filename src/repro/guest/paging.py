@@ -1,0 +1,80 @@
+"""Guest-side stage-1 (Sv39) page-table management.
+
+Models the guest kernel building its own virtual address space: table
+pages are ordinary guest memory, PTE words are written with ordinary
+guest stores (faulting in pages, going through stage-2 translation like
+anything else the guest does), and the targets of guest PTEs are GPAs --
+the hypervisor-extension semantics the translator implements.
+
+ZION never sees or cares about these tables; they demonstrate that a
+confidential guest's paging works unmodified, which is the
+compatibility claim VM-based TEEs make against process-based ones.
+"""
+
+from __future__ import annotations
+
+from repro.cycles import Category
+from repro.mem.physmem import PAGE_SIZE
+
+PTE_V = 1 << 0
+PTE_R = 1 << 1
+PTE_W = 1 << 2
+PTE_X = 1 << 3
+PTE_U = 1 << 4
+PTE_A = 1 << 6
+PTE_D = 1 << 7
+
+
+class GuestPageTableBuilder:
+    """Builds an Sv39 table inside guest memory and enables vsatp."""
+
+    def __init__(self, ctx, table_region_gpa: int):
+        self.ctx = ctx
+        self._cursor = table_region_gpa
+        self.root_gpa = self._alloc_table()
+
+    def _alloc_table(self) -> int:
+        gpa = self._cursor
+        self._cursor += PAGE_SIZE
+        # Touching the fresh table page faults it in (zeroed by the SM).
+        self.ctx.touch(gpa)
+        return gpa
+
+    def map(self, gva: int, gpa: int, writable: bool = True, executable: bool = False, user: bool = False) -> None:
+        """Install a 4 KB mapping ``gva -> gpa`` with guest stores."""
+        if gva % PAGE_SIZE or gpa % PAGE_SIZE:
+            raise ValueError("guest mappings are page-granular")
+        table = self.root_gpa
+        for depth in range(2):
+            shift = 12 + 9 * (2 - depth)
+            slot = table + 8 * ((gva >> shift) & 0x1FF)
+            pte = self.ctx.load(slot)
+            if not pte & PTE_V:
+                child = self._alloc_table()
+                self.ctx.store(slot, (child >> 12) << 10 | PTE_V)
+                table = child
+            else:
+                table = ((pte >> 10) << 12) & ~(PAGE_SIZE - 1)
+        flags = PTE_V | PTE_R | PTE_A | PTE_D
+        if writable:
+            flags |= PTE_W
+        if executable:
+            flags |= PTE_X
+        if user:
+            flags |= PTE_U
+        leaf_slot = table + 8 * ((gva >> 12) & 0x1FF)
+        self.ctx.store(leaf_slot, (gpa >> 12) << 10 | flags)
+
+    def enable(self) -> None:
+        """Write vsatp and fence: the guest runs with paging from here."""
+        ctx = self.ctx
+        ctx.ledger.charge(Category.GUEST_KERNEL, ctx.costs.csr_write)
+        ctx.ledger.charge(Category.TLB, ctx.costs.tlb_flush_gvma)
+        ctx.machine.translator.tlb.flush_vmid(ctx.session.vmid)
+        ctx.session.vsatp_root = self.root_gpa
+
+    def disable(self) -> None:
+        """Back to Bare (e.g. before kexec)."""
+        self.ctx.ledger.charge(Category.GUEST_KERNEL, self.ctx.costs.csr_write)
+        self.ctx.machine.translator.tlb.flush_vmid(self.ctx.session.vmid)
+        self.ctx.session.vsatp_root = None

@@ -1,0 +1,26 @@
+"""The untrusted Normal-mode host stack.
+
+Models the software ZION coexists with but does not trust: a KVM-like
+hypervisor in HS mode (vCPU run loops, stage-2 fault handling for normal
+VMs, scheduling), QEMU-style MMIO device emulation in U mode, virtio
+block/network devices with real virtqueues and IOPMP-checked DMA, and the
+host side of ZION's CVM lifecycle (donating shared-vCPU pages and
+shared-region subtrees, expanding the secure pool on request).
+
+Nothing in this package is trusted: tests drive *attacks* from these
+classes (reading secure memory, tampering with shared-vCPU replies,
+remapping shared subtrees) and assert that the SM-side defences hold.
+"""
+
+from repro.hyp.vm import NormalVm, VmKind
+from repro.hyp.hypervisor import Hypervisor
+from repro.hyp.virtio import VirtioBlockDevice, VirtioNetDevice, Virtqueue
+
+__all__ = [
+    "NormalVm",
+    "VmKind",
+    "Hypervisor",
+    "Virtqueue",
+    "VirtioBlockDevice",
+    "VirtioNetDevice",
+]

@@ -1,0 +1,85 @@
+"""MMIO device framework (the QEMU role).
+
+Devices claim windows of the guest-physical MMIO region; the hypervisor's
+exit handler dispatches emulated loads/stores to them.  Data moved by
+*DMA* (virtio) goes through the IOPMP-checked bus instead -- the MMIO path
+here is only for the small register interface (doorbells, status).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class MmioDevice:
+    """Base class: an emulated device occupying one MMIO window."""
+
+    def __init__(self, name: str, mmio_base: int, mmio_size: int = 0x1000):
+        self.name = name
+        self.mmio_base = mmio_base
+        self.mmio_size = mmio_size
+
+    def claims(self, gpa: int) -> bool:
+        """Whether the GPA falls in this device's MMIO window."""
+        return self.mmio_base <= gpa < self.mmio_base + self.mmio_size
+
+    def mmio_load(self, offset: int, size: int) -> int:
+        """Emulated register read; devices override."""
+        return 0
+
+    def mmio_store(self, offset: int, value: int, size: int) -> None:
+        """Emulated register write; devices override."""
+
+
+class ConsoleDevice(MmioDevice):
+    """A UART-like console: writes collect output, reads return status."""
+
+    DATA = 0x0
+    STATUS = 0x4
+
+    def __init__(self, mmio_base: int):
+        super().__init__("console", mmio_base)
+        self.output = bytearray()
+
+    def mmio_load(self, offset: int, size: int) -> int:
+        """Status register reads as ready; everything else as zero."""
+        if offset == self.STATUS:
+            return 1  # always ready
+        return 0
+
+    def mmio_store(self, offset: int, value: int, size: int) -> None:
+        """Writes to DATA append to the captured output."""
+        if offset == self.DATA:
+            self.output.append(value & 0xFF)
+
+
+class MmioRegistry:
+    """Address decode for a VM's emulated devices."""
+
+    def __init__(self):
+        self._devices: list[MmioDevice] = []
+
+    def add(self, device: MmioDevice) -> MmioDevice:
+        """Register a device, rejecting window overlaps."""
+        for existing in self._devices:
+            overlap = (
+                device.mmio_base < existing.mmio_base + existing.mmio_size
+                and existing.mmio_base < device.mmio_base + device.mmio_size
+            )
+            if overlap:
+                raise ConfigurationError(
+                    f"MMIO window of {device.name} overlaps {existing.name}"
+                )
+        self._devices.append(device)
+        return device
+
+    def find(self, gpa: int) -> MmioDevice | None:
+        """The device claiming the GPA, or ``None``."""
+        for device in self._devices:
+            if device.claims(gpa):
+                return device
+        return None
+
+    def devices(self):
+        """A copy of the registered device list."""
+        return list(self._devices)

@@ -1,0 +1,383 @@
+"""The KVM-like hypervisor (Normal mode, HS privilege).
+
+Fully manages normal VMs (stage-2 tables in normal memory, demand paging
+via the KVM fault path) and performs the *untrusted* host half of the CVM
+lifecycle: donating shared-vCPU pages, building and linking shared-region
+subtrees, premapping the shared window for SWIOTLB, servicing MMIO exits
+through the device registry, and expanding the secure pool when the SM
+asks (allocation stage 3).
+
+Everything here executes below M mode: its page-table edits and
+shared-vCPU accesses go through the PMP-checked bus, so an attempt to
+touch secure memory faults exactly as on hardware.
+"""
+
+from __future__ import annotations
+
+from repro.cycles import Category, CycleCosts, CycleLedger
+from repro.hyp.devices import MmioRegistry
+from repro.hyp.vm import CvmHostHandle, NormalVm
+from repro.isa.privilege import PrivilegeMode
+from repro.mem.frames import FrameAllocator
+from repro.mem.pagetable import PTE_D, PTE_R, PTE_U, PTE_W, PTE_X, Sv39x4
+from repro.mem.physmem import PAGE_SIZE
+from repro.sm.cvm import GpaLayout
+from repro.sm.vcpu import SHARED_VCPU_FIELDS
+
+#: Default contiguous chunk donated per pool-expansion request.
+DEFAULT_EXPAND_CHUNK = 8 << 20
+
+
+class _HypAccessor:
+    """PTE accessor running at the hypervisor's privilege (PMP-checked)."""
+
+    def __init__(self, bus, hart):
+        self._bus = bus
+        self._hart = hart
+
+    def read_u64(self, addr: int) -> int:
+        return self._bus.cpu_read_u64(self._hart, addr)
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self._bus.cpu_write_u64(self._hart, addr, value)
+
+
+class Hypervisor:
+    """The untrusted host kernel + VMM."""
+
+    def __init__(
+        self,
+        bus,
+        translator,
+        allocator: FrameAllocator,
+        ledger: CycleLedger,
+        costs: CycleCosts,
+        expand_chunk: int = DEFAULT_EXPAND_CHUNK,
+    ):
+        self.bus = bus
+        self.translator = translator
+        self.allocator = allocator
+        self.ledger = ledger
+        self.costs = costs
+        self.expand_chunk = expand_chunk
+        self.devices = MmioRegistry()
+        self._sv39x4 = Sv39x4()
+        self.normal_vms: list[NormalVm] = []
+        self.cvm_handles: dict[int, CvmHostHandle] = {}
+        self.pool_expansions = 0
+        self.mmio_exits = 0
+        #: Platform interrupt controller; installed by the machine.
+        self.plic = None
+        #: PLIC source -> device bindings (set by the machine's wiring).
+        self.plic_bindings = {}
+        #: The hart the host kernel runs on; set by the machine at wiring
+        #: time and used for PMP-checked page-table edits in callbacks
+        #: that are not passed a hart explicitly.
+        self.hart = None
+
+    # ------------------------------------------------------------------
+    # Normal VM management (the conventional KVM path)
+    # ------------------------------------------------------------------
+
+    def create_normal_vm(self, name: str, hart, layout: GpaLayout | None = None) -> NormalVm:
+        """Allocate a normal VM and its stage-2 root in normal memory."""
+        vm = NormalVm(name, layout)
+        root = self.allocator.alloc(size=16 * 1024, align=16 * 1024)
+        self.bus.dram.zero_range(root, 16 * 1024)
+        vm.hgatp_root = root
+        self.normal_vms.append(vm)
+        return vm
+
+    def normal_vm_exit(self, hart) -> None:
+        """Charge a VM exit into KVM (trap + state save)."""
+        self.ledger.charge(Category.TRAP, self.costs.trap_to_hs)
+        self.ledger.charge(Category.HYP_LOGIC, self.costs.kvm_exit_logic)
+        self.ledger.charge(
+            Category.REG_SAVE,
+            self.costs.gpr_file_save + self.costs.kvm_csr_context * self.costs.csr_read,
+        )
+        hart.mode = PrivilegeMode.HS
+
+    def normal_vm_enter(self, hart) -> None:
+        """Charge a VM entry from KVM (state restore + sret)."""
+        self.ledger.charge(Category.HYP_LOGIC, self.costs.kvm_entry_logic)
+        self.ledger.charge(
+            Category.REG_SAVE,
+            self.costs.gpr_file_save + self.costs.kvm_csr_context * self.costs.csr_write,
+        )
+        self.ledger.charge(Category.TRAP, self.costs.xret)
+        hart.mode = PrivilegeMode.VS
+
+    def sched_tick(self) -> None:
+        """Scheduler pass on a timer tick."""
+        self.ledger.charge(Category.HYP_LOGIC, self.costs.hyp_sched_pass)
+
+    def handle_normal_stage2_fault(self, hart, vm: NormalVm, gpa: int) -> int:
+        """KVM's stage-2 fault path: allocate a frame, map it, return PA.
+
+        The dominant cost is the measurement-calibrated ``kvm_fault_fixed``
+        (memslot lookup + get_user_pages + mmu lock on the paper's 100 MHz
+        platform); the PTE installation is charged on top.
+        """
+        self.ledger.charge(Category.HYP_LOGIC, self.costs.kvm_fault_fixed)
+        page_gpa = gpa & ~(PAGE_SIZE - 1)
+        pa = self.allocator.alloc()
+        self.bus.dram.zero_range(pa, PAGE_SIZE)
+        self.ledger.charge(Category.HYP_LOGIC, self.costs.zero_bytes(PAGE_SIZE))
+        flags = PTE_R | PTE_W | PTE_X | PTE_U | PTE_D
+        self._sv39x4.map(
+            _HypAccessor(self.bus, hart),
+            vm.hgatp_root,
+            page_gpa,
+            pa,
+            flags,
+            alloc_table=self._alloc_table_page,
+        )
+        self.ledger.charge(Category.HYP_LOGIC, self.costs.kvm_pte_install)
+        self.translator.sfence_page(vm.vmid, page_gpa)
+        vm.fault_count += 1
+        return pa
+
+    def _alloc_table_page(self) -> int:
+        pa = self.allocator.alloc()
+        self.bus.dram.zero_range(pa, PAGE_SIZE)
+        return pa
+
+    # ------------------------------------------------------------------
+    # CVM host-side lifecycle
+    # ------------------------------------------------------------------
+
+    def host_create_cvm(
+        self,
+        monitor,
+        hart,
+        layout: GpaLayout | None = None,
+        vcpu_count: int = 1,
+        image: bytes = b"",
+        image_gpa: int | None = None,
+        entry_pc: int | None = None,
+        shared_window: int | None = None,
+    ) -> CvmHostHandle:
+        """Drive the full CVM creation ECALL sequence against the SM.
+
+        Returns the host handle.  ``shared_window`` bytes of the shared
+        region (default 4 MB, enough for SWIOTLB + rings) are premapped to
+        normal frames through the hypervisor-managed shared subtree.
+        """
+        layout = layout or GpaLayout()
+        cvm_id = monitor.ecall_create_cvm(layout, vcpu_count)
+        handle = CvmHostHandle(cvm_id, layout)
+        self.cvm_handles[cvm_id] = handle
+
+        for vcpu_id in range(vcpu_count):
+            page = self.allocator.alloc()
+            self.bus.dram.zero_range(page, PAGE_SIZE)
+            monitor.ecall_assign_shared_vcpu(cvm_id, vcpu_id, page)
+            handle.shared_vcpu_pages[vcpu_id] = page
+
+        window = shared_window if shared_window is not None else 4 << 20
+        self._provision_shared_window(monitor, hart, handle, window)
+
+        if image:
+            gpa = image_gpa if image_gpa is not None else layout.dram_base
+            monitor.ecall_load_image(cvm_id, gpa, image)
+        pc = entry_pc if entry_pc is not None else layout.dram_base
+        monitor.ecall_set_entry_point(cvm_id, 0, pc)
+        monitor.ecall_finalize(cvm_id)
+        return handle
+
+    def host_adopt_cvm(self, monitor, hart, cvm_id: int, shared_window: int | None = None) -> CvmHostHandle:
+        """Provision host resources for an SM-created CVM (e.g. migrated in).
+
+        Performs the same donation sequence as creation -- shared vCPU
+        pages, shared subtree, premapped window -- then finalizes.
+        """
+        cvm = monitor.cvms[cvm_id]
+        handle = CvmHostHandle(cvm_id, cvm.layout)
+        self.cvm_handles[cvm_id] = handle
+        for vcpu_id in range(len(cvm.vcpus)):
+            page = self.allocator.alloc()
+            self.bus.dram.zero_range(page, PAGE_SIZE)
+            monitor.ecall_assign_shared_vcpu(cvm_id, vcpu_id, page)
+            handle.shared_vcpu_pages[vcpu_id] = page
+        window = shared_window if shared_window is not None else 4 << 20
+        self._provision_shared_window(monitor, hart, handle, window)
+        monitor.ecall_finalize(cvm_id)
+        return handle
+
+    def _provision_shared_window(self, monitor, hart, handle: CvmHostHandle, window: int) -> None:
+        """Build the shared subtree and premap ``window`` bytes of it."""
+        layout = handle.layout
+        if window > layout.shared_size:
+            raise ValueError("shared window exceeds the layout's shared region")
+        accessor = _HypAccessor(self.bus, hart)
+        root_index = layout.shared_base >> 30
+        subtree = self.allocator.alloc()
+        self.bus.dram.zero_range(subtree, PAGE_SIZE)
+        handle.shared_subtrees[root_index] = subtree
+        monitor.ecall_link_shared_subtree(handle.cvm_id, root_index, subtree)
+
+        backing = self.allocator.alloc(size=window)
+        handle.shared_window_base = backing
+        handle.shared_window_size = window
+        flags = PTE_R | PTE_W | PTE_U | PTE_D
+        for offset in range(0, window, PAGE_SIZE):
+            gpa = layout.shared_base + offset
+            self._map_in_subtree(accessor, subtree, gpa, backing + offset, flags)
+
+    def _map_in_subtree(self, accessor, subtree_pa: int, gpa: int, pa: int, flags: int) -> None:
+        """Map a page under a shared level-1 table the hypervisor owns.
+
+        The subtree root covers 1 GiB (a stage-2 root slot); levels below
+        it are normal Sv39x4 geometry.
+        """
+        level1_index = (gpa >> 21) & 0x1FF
+        slot = subtree_pa + 8 * level1_index
+        pte = accessor.read_u64(slot)
+        if not pte & 1:
+            leaf_table = self._alloc_table_page()
+            accessor.write_u64(slot, (leaf_table >> 12) << 10 | 1)
+            pte = accessor.read_u64(slot)
+        leaf_table = (pte >> 10) << 12
+        leaf_index = (gpa >> 12) & 0x1FF
+        accessor.write_u64(leaf_table + 8 * leaf_index, (pa >> 12) << 10 | flags | 1)
+        self.ledger.charge(Category.PAGE_WALK, 2 * self.costs.page_walk_level)
+
+    def shared_gpa_to_hpa(self, handle: CvmHostHandle, gpa: int) -> int:
+        """Device-side translation through the hypervisor's shared view.
+
+        Performs a real walk of the hypervisor-owned shared subtree (the
+        same table pages linked under the CVM's stage-2 root), so it stays
+        correct for windows extended by guest share requests regardless
+        of backing contiguity.
+        """
+        layout = handle.layout
+        if not layout.in_shared(gpa):
+            raise ValueError(f"GPA {gpa:#x} is not in the shared region")
+        subtree = handle.shared_subtrees.get(gpa >> 30)
+        if subtree is None:
+            raise ValueError(f"no shared subtree covers GPA {gpa:#x}")
+        self.ledger.charge(Category.PAGE_WALK, 2 * self.costs.page_walk_level)
+        level1_pte = self.bus.dram.read_u64(subtree + 8 * ((gpa >> 21) & 0x1FF))
+        if not level1_pte & 1:
+            raise ValueError(f"shared GPA {gpa:#x} beyond the premapped window")
+        leaf_table = (level1_pte >> 10) << 12
+        leaf_pte = self.bus.dram.read_u64(leaf_table + 8 * ((gpa >> 12) & 0x1FF))
+        if not leaf_pte & 1:
+            raise ValueError(f"shared GPA {gpa:#x} beyond the premapped window")
+        return ((leaf_pte >> 10) << 12) | (gpa & (PAGE_SIZE - 1))
+
+    # ------------------------------------------------------------------
+    # CVM exit servicing (the QEMU/KVM half of an MMIO exit)
+    # ------------------------------------------------------------------
+
+    def handle_cvm_exit(self, hart, monitor, cvm, vcpu_id: int) -> None:
+        """Service whatever the shared vCPU says this exit needs.
+
+        Reads the exit fields through the PMP-checked bus (the hypervisor
+        cannot see anything else), emulates MMIO through the device
+        registry, and writes the reply back into the shared vCPU.
+        """
+        shared = cvm.shared_vcpus[vcpu_id]
+        read = lambda field: shared.hyp_read(hart, field)
+        self.ledger.charge(
+            Category.HYP_LOGIC, len(SHARED_VCPU_FIELDS) * self.costs.field_copy
+        )
+        cause = read("exit_cause")
+        if cause not in (21, 23):  # not a load/store guest-page fault
+            return
+        gpa = read("htval")
+        handle = self.cvm_handles[cvm.cvm_id]
+        if handle.layout.in_shared(gpa):
+            # The CVM touched shared GPA space the subtree does not map
+            # yet; extend the premapped window (no SM involvement at all).
+            self._fix_shared_fault(hart, handle, gpa)
+            return
+        self.mmio_exits += 1
+        self.ledger.charge(Category.HYP_LOGIC, self.costs.qemu_mmio_dispatch)
+        device = self.devices.find(gpa)
+        if cause == 21:
+            value = device.mmio_load(gpa - device.mmio_base, 8) if device else 0
+            shared.hyp_write(hart, "gpr_value", value)
+            shared.hyp_write(hart, "gpr_index", read("gpr_index"))
+        else:
+            value = read("gpr_value")
+            if device is not None:
+                device.mmio_store(gpa - device.mmio_base, value, 8)
+        shared.hyp_write(hart, "sepc_advance", 4)
+
+    def _fix_shared_fault(self, hart, handle: CvmHostHandle, gpa: int) -> None:
+        """Demand-map one page of the shared region in the hyp's subtree."""
+        root_index = gpa >> 30
+        subtree = handle.shared_subtrees.get(root_index)
+        if subtree is None:
+            raise ValueError(f"no shared subtree covers GPA {gpa:#x}")
+        page_gpa = gpa & ~(PAGE_SIZE - 1)
+        pa = self.allocator.alloc()
+        self.bus.dram.zero_range(pa, PAGE_SIZE)
+        accessor = _HypAccessor(self.bus, hart)
+        flags = PTE_R | PTE_W | PTE_U | PTE_D
+        self._map_in_subtree(accessor, subtree, page_gpa, pa, flags)
+        self.translator.sfence_page(0, page_gpa)
+
+    def service_plic(self, hart, cvm=None, vcpu_id: int = 0, machine=None) -> int:
+        """Claim/complete every pending device interrupt (context 0).
+
+        For a CVM target, each claim becomes a validated VSEI injection
+        through the shared vCPU; for a normal VM, KVM's direct injection
+        flag.  Returns the number of interrupts serviced.
+        """
+        if self.plic is None:
+            return 0
+        served = 0
+        while True:
+            source = self.plic.claim(0)
+            if not source:
+                break
+            self.ledger.charge(Category.HYP_LOGIC, self.costs.plic_claim_cost)
+            if cvm is not None:
+                self.inject_vs_external(hart, cvm, vcpu_id)
+            elif machine is not None:
+                machine._normal_irq_flag = True
+            self.plic.complete(0, source)
+            served += 1
+        return served
+
+    def inject_vs_external(self, hart, cvm, vcpu_id: int) -> None:
+        """Queue a VS external interrupt via the shared vCPU reply field."""
+        shared = cvm.shared_vcpus[vcpu_id]
+        pending = shared.hyp_read(hart, "pending_irq")
+        shared.hyp_write(hart, "pending_irq", pending | 1 << 10)
+
+    # ------------------------------------------------------------------
+    # Stage-3 pool expansion
+    # ------------------------------------------------------------------
+
+    def on_share_request(self, monitor, cvm_id: int, size: int) -> int:
+        """Extend a CVM's premapped shared window by ``size`` bytes.
+
+        Allocates normal backing and maps it into the hypervisor-owned
+        shared subtree immediately after the current window.  Returns the
+        GPA of the new range.
+        """
+        handle = self.cvm_handles[cvm_id]
+        self.ledger.charge(Category.HYP_LOGIC, self.costs.hyp_sched_pass)
+        backing = self.allocator.alloc(size=size)
+        self.bus.dram.zero_range(backing, size)
+        accessor = _HypAccessor(self.bus, self.hart)
+        root_index = handle.layout.shared_base >> 30
+        subtree = handle.shared_subtrees[root_index]
+        flags = PTE_R | PTE_W | PTE_U | PTE_D
+        old_size = handle.shared_window_size
+        for offset in range(0, size, PAGE_SIZE):
+            gpa = handle.layout.shared_base + old_size + offset
+            self._map_in_subtree(accessor, subtree, gpa, backing + offset, flags)
+        handle.shared_window_size = old_size + size
+        return handle.layout.shared_base + old_size
+
+    def on_pool_expand_request(self, monitor) -> None:
+        """The SM asked for more secure memory: donate a contiguous chunk."""
+        self.ledger.charge(Category.HYP_LOGIC, self.costs.hyp_expand_cost)
+        base = self.allocator.alloc(size=self.expand_chunk)
+        monitor.ecall_register_pool_memory(base, self.expand_chunk)
+        self.pool_expansions += 1

@@ -1,0 +1,43 @@
+"""Round-robin VM scheduler for concurrent multi-VM execution.
+
+The hypervisor schedules vCPUs; for confidential VMs it can only ask the
+SM to run or stop them (the run ECALL / the timer exit), never touch
+their state.  The machine's concurrent executor drives this scheduler:
+workloads written as generators yield at their natural preemption points
+and the scheduler rotates sessions, performing the correct world-switch
+sequence for each VM kind on every rotation -- so a multi-tenant run
+charges exactly the switching the paper's design implies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class RoundRobinScheduler:
+    """Rotates runnable sessions; removes them as their workloads finish."""
+
+    def __init__(self):
+        self._queue: deque = deque()
+
+    def add(self, item) -> None:
+        """Append a runnable item to the rotation."""
+        self._queue.append(item)
+
+    def __len__(self):
+        return len(self._queue)
+
+    def next(self):
+        """The next runnable item (moves it to the tail)."""
+        if not self._queue:
+            return None
+        item = self._queue.popleft()
+        self._queue.append(item)
+        return item
+
+    def remove(self, item) -> None:
+        """Drop an item from the rotation (no-op if absent)."""
+        try:
+            self._queue.remove(item)
+        except ValueError:
+            pass

@@ -1,0 +1,56 @@
+"""Virtual machine records on the hypervisor side.
+
+A :class:`NormalVm` is a conventional KVM guest: the hypervisor owns its
+stage-2 table (in normal memory) and allocates its frames from the host
+allocator on demand.  Confidential VMs are represented hypervisor-side
+only by their opaque handle (the SM-issued ``cvm_id``) plus the host
+resources the hypervisor legitimately manages for them: the shared-vCPU
+pages, the shared-region subtree tables, and the normal frames backing the
+shared window.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+from repro.sm.cvm import GpaLayout
+
+_vmid_counter = itertools.count(1000)
+
+
+class VmKind(enum.Enum):
+    """Whether a VM is conventional or SM-protected."""
+    NORMAL = "normal"
+    CONFIDENTIAL = "confidential"
+
+
+class NormalVm:
+    """A conventional guest fully managed by the hypervisor."""
+
+    def __init__(self, name: str, layout: GpaLayout | None = None):
+        self.name = name
+        self.kind = VmKind.NORMAL
+        self.layout = layout or GpaLayout()
+        self.vmid = next(_vmid_counter)
+        #: Stage-2 root PA (normal memory), set by the hypervisor.
+        self.hgatp_root: int | None = None
+        #: Guest program counter mirror (for the machine's engine).
+        self.pc = 0
+        self.fault_count = 0
+
+
+class CvmHostHandle:
+    """What the hypervisor knows about a confidential VM it hosts."""
+
+    def __init__(self, cvm_id: int, layout: GpaLayout):
+        self.cvm_id = cvm_id
+        self.kind = VmKind.CONFIDENTIAL
+        self.layout = layout
+        #: Normal-memory PAs of the shared-vCPU pages, by vCPU id.
+        self.shared_vcpu_pages: dict[int, int] = {}
+        #: Shared-region subtree root tables (root index -> table PA).
+        self.shared_subtrees: dict[int, int] = {}
+        #: Shared-window GPA -> backing HPA premapped by the hypervisor.
+        self.shared_window_base: int | None = None
+        self.shared_window_size: int = 0

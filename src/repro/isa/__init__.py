@@ -1,0 +1,34 @@
+"""Functional model of the RISC-V privileged architecture.
+
+Models the architectural features ZION relies on, per the privileged spec
+and the hypervisor extension: privilege modes (including the virtualized VS
+and VU modes), CSRs, trap causes and delegation (``medeleg``/``hedeleg``),
+Physical Memory Protection (PMP), IOPMP, and the hart itself.
+
+This is a *functional* model: no instructions are decoded; the objects here
+answer the questions the rest of the stack asks of real hardware ("may VS
+mode write this physical address?", "where does this trap land given the
+current delegation CSRs?") with architecturally-accurate rules.
+"""
+
+from repro.isa.privilege import PrivilegeMode
+from repro.isa.traps import AccessType, ExceptionCause, InterruptCause, TrapKind
+from repro.isa.csr import CsrFile
+from repro.isa.pmp import PmpAddressMode, PmpEntry, PmpUnit
+from repro.isa.iopmp import IopmpEntry, IopmpUnit
+from repro.isa.hart import Hart
+
+__all__ = [
+    "PrivilegeMode",
+    "AccessType",
+    "ExceptionCause",
+    "InterruptCause",
+    "TrapKind",
+    "CsrFile",
+    "PmpAddressMode",
+    "PmpEntry",
+    "PmpUnit",
+    "IopmpEntry",
+    "IopmpUnit",
+    "Hart",
+]

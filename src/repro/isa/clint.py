@@ -1,0 +1,73 @@
+"""CLINT: the core-local interruptor (machine timer + software IPIs).
+
+The real platform's CLINT provides ``mtime`` (a global cycle-speed
+counter), per-hart ``mtimecmp`` (machine timer compare) and per-hart
+``msip`` (inter-processor software interrupt) registers, all owned by
+M-mode software.  ZION's SM programs ``mtimecmp`` to get the scheduler
+tick that drives CVM time-slicing, and uses ``msip`` to kick remote harts
+(e.g. for cross-hart TLB shootdown on pool expansion).
+
+``mtime`` is driven by the machine's cycle ledger through a time-source
+callable, so simulated time and timer behaviour stay consistent by
+construction.
+"""
+
+from __future__ import annotations
+
+_U64_MAX = (1 << 64) - 1
+
+
+class Clint:
+    """Functional CLINT for ``hart_count`` harts."""
+
+    def __init__(self, hart_count: int, time_source):
+        self.hart_count = hart_count
+        self._time_source = time_source
+        self._mtimecmp = [_U64_MAX] * hart_count
+        self._msip = [False] * hart_count
+
+    # -- mtime --------------------------------------------------------------
+
+    @property
+    def mtime(self) -> int:
+        return self._time_source() & _U64_MAX
+
+    # -- machine timer --------------------------------------------------------
+
+    def read_mtimecmp(self, hart_id: int) -> int:
+        """The hart's programmed timer deadline."""
+        return self._mtimecmp[hart_id]
+
+    def write_mtimecmp(self, hart_id: int, value: int) -> None:
+        """Program the next timer interrupt (also clears a pending one)."""
+        self._mtimecmp[hart_id] = value & _U64_MAX
+
+    def timer_pending(self, hart_id: int) -> bool:
+        """MTIP for this hart: mtime >= mtimecmp (the spec's comparison)."""
+        return self.mtime >= self._mtimecmp[hart_id]
+
+    def arm_after(self, hart_id: int, cycles: int) -> int:
+        """Convenience: program the timer ``cycles`` from now."""
+        deadline = (self.mtime + cycles) & _U64_MAX
+        self.write_mtimecmp(hart_id, deadline)
+        return deadline
+
+    # -- software interrupts (IPIs) ------------------------------------------------
+
+    def send_ipi(self, hart_id: int) -> None:
+        """Assert the target hart's software-interrupt pending bit."""
+        self._msip[hart_id] = True
+
+    def clear_ipi(self, hart_id: int) -> None:
+        """Acknowledge (clear) the hart's software interrupt."""
+        self._msip[hart_id] = False
+
+    def ipi_pending(self, hart_id: int) -> bool:
+        """Whether the hart has an unacknowledged IPI."""
+        return self._msip[hart_id]
+
+    def broadcast_ipi(self, exclude: int | None = None) -> None:
+        """Kick every hart (cross-hart fence protocols)."""
+        for hart_id in range(self.hart_count):
+            if hart_id != exclude:
+                self._msip[hart_id] = True

@@ -1,0 +1,40 @@
+"""RISC-V privilege modes, including hypervisor-extension virtual modes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class PrivilegeMode(enum.Enum):
+    """A RISC-V privilege mode.
+
+    With the hypervisor extension, supervisor mode becomes HS
+    (hypervisor-extended supervisor) and two virtual modes are added: VS
+    (virtual supervisor, the guest kernel) and VU (virtual user, guest
+    applications).  ``value`` encodes ``(privilege_level, virtualized)``
+    where level follows the spec encoding (U=0, S=1, M=3).
+    """
+
+    U = (0, False)
+    HS = (1, False)
+    M = (3, False)
+    VU = (0, True)
+    VS = (1, True)
+
+    @property
+    def level(self) -> int:
+        """Numeric privilege level (U/VU=0, HS/VS=1, M=3)."""
+        return self.value[0]
+
+    @property
+    def virtualized(self) -> bool:
+        """True for the guest-side modes added by the hypervisor extension."""
+        return self.value[1]
+
+    @property
+    def is_guest(self) -> bool:
+        """Alias for :attr:`virtualized`: the mode executes inside a VM."""
+        return self.virtualized
+
+    def __repr__(self):
+        return f"PrivilegeMode.{self.name}"

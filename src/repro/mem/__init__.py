@@ -1,0 +1,44 @@
+"""Memory substrate: physical memory, the checked bus, paging, and TLB.
+
+Page tables are *real*: mapping writes 64-bit PTE words into simulated
+physical memory and translation walks them back out, so the isolation
+claims ZION makes about page-table placement (CVM tables live in the
+secure pool; the hypervisor's root table physically contains no entry that
+reaches a secure frame) are checkable facts about bytes in memory, not
+bookkeeping conventions.
+"""
+
+from repro.mem.physmem import PAGE_SIZE, MemoryBus, PhysicalMemory
+from repro.mem.frames import FrameAllocator
+from repro.mem.pagetable import (
+    PTE_D,
+    PTE_R,
+    PTE_U,
+    PTE_V,
+    PTE_W,
+    PTE_X,
+    PageTable,
+    Sv39,
+    Sv39x4,
+)
+from repro.mem.tlb import Tlb
+from repro.mem.translation import AddressTranslator, TranslationResult
+
+__all__ = [
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "MemoryBus",
+    "FrameAllocator",
+    "PageTable",
+    "Sv39",
+    "Sv39x4",
+    "PTE_V",
+    "PTE_R",
+    "PTE_W",
+    "PTE_X",
+    "PTE_U",
+    "PTE_D",
+    "Tlb",
+    "AddressTranslator",
+    "TranslationResult",
+]

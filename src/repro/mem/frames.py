@@ -1,0 +1,78 @@
+"""Physical frame allocator.
+
+A simple page-granular allocator over a physical range.  Used for the
+hypervisor's normal-memory allocations (VM memory, shared page tables,
+virtio rings) and by tests.  The SM does *not* use this: secure-pool
+allocation goes through ZION's hierarchical allocator in
+:mod:`repro.sm.alloc`, which is itself an experimental subject.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryError_
+from repro.mem.physmem import PAGE_SIZE
+
+
+class FrameAllocator:
+    """First-fit page allocator over ``[base, base + size)``."""
+
+    def __init__(self, base: int, size: int):
+        if base % PAGE_SIZE or size % PAGE_SIZE:
+            raise ValueError("allocator range must be page-aligned")
+        self.base = base
+        self.size = size
+        #: Sorted list of free (start, length) extents.
+        self._free: list[tuple[int, int]] = [(base, size)]
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def free_bytes(self) -> int:
+        """Total unallocated bytes remaining."""
+        return sum(length for _, length in self._free)
+
+    def alloc(self, size: int = PAGE_SIZE, align: int = PAGE_SIZE) -> int:
+        """Allocate ``size`` bytes aligned to ``align``; returns the base."""
+        if size % PAGE_SIZE:
+            raise ValueError("allocation size must be page-aligned")
+        if align % PAGE_SIZE or align & (align - 1):
+            raise ValueError("alignment must be a page-multiple power of two")
+        for i, (start, length) in enumerate(self._free):
+            aligned = (start + align - 1) & ~(align - 1)
+            waste = aligned - start
+            if length < waste + size:
+                continue
+            # Carve [aligned, aligned+size) out of this extent.
+            remainder = []
+            if waste:
+                remainder.append((start, waste))
+            tail = length - waste - size
+            if tail:
+                remainder.append((aligned + size, tail))
+            self._free[i : i + 1] = remainder
+            return aligned
+        raise MemoryError_(
+            f"out of frames: need {size:#x} aligned {align:#x}, "
+            f"{self.free_bytes():#x} free"
+        )
+
+    def free(self, addr: int, size: int = PAGE_SIZE) -> None:
+        """Return ``[addr, addr+size)`` to the pool, coalescing neighbours."""
+        if addr % PAGE_SIZE or size % PAGE_SIZE:
+            raise ValueError("free range must be page-aligned")
+        if addr < self.base or addr + size > self.end:
+            raise MemoryError_(f"free outside allocator range: {addr:#x}")
+        for start, length in self._free:
+            if addr < start + length and start < addr + size:
+                raise MemoryError_(f"double free at {addr:#x}")
+        self._free.append((addr, size))
+        self._free.sort()
+        merged = [self._free[0]]
+        for start, length in self._free[1:]:
+            last_start, last_len = merged[-1]
+            if last_start + last_len == start:
+                merged[-1] = (last_start, last_len + length)
+            else:
+                merged.append((start, length))
+        self._free = merged

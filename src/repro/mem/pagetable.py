@@ -1,0 +1,251 @@
+"""Sv39 (stage-1) and Sv39x4 (stage-2) page tables.
+
+Tables are real: :meth:`PageTable.map` writes 64-bit PTE words into
+simulated physical memory through a caller-supplied *accessor*, and
+:meth:`PageTable.walk` reads them back.  The accessor carries the
+privilege of whoever is editing the table -- the SM edits through an
+unchecked M-mode accessor, the hypervisor through a PMP-checked one -- so
+"the hypervisor cannot modify a CVM's page table" is enforced by the same
+mechanism as on hardware: the table lives in PMP-protected memory.
+
+PTE layout follows the privileged spec: V/R/W/X/U/G/A/D in bits 0..7 and
+the PPN in bits 10..53.  A PTE with V=1 and R=W=X=0 is a pointer to the
+next level; leaves are permitted at any level (superpages) with the usual
+alignment requirement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import MemoryError_
+from repro.isa.traps import AccessType
+from repro.mem.physmem import PAGE_SIZE
+
+PTE_V = 1 << 0
+PTE_R = 1 << 1
+PTE_W = 1 << 2
+PTE_X = 1 << 3
+PTE_U = 1 << 4
+PTE_G = 1 << 5
+PTE_A = 1 << 6
+PTE_D = 1 << 7
+
+_PPN_SHIFT = 10
+_PPN_MASK = ((1 << 44) - 1) << _PPN_SHIFT
+
+#: PTE permission bit required for each access type.
+_REQUIRED_BIT = {
+    AccessType.LOAD: PTE_R,
+    AccessType.STORE: PTE_W,
+    AccessType.FETCH: PTE_X,
+}
+
+
+def pte_pack(pa: int, flags: int) -> int:
+    """Build a PTE word pointing at physical address ``pa``."""
+    if pa % PAGE_SIZE:
+        raise ValueError(f"PTE target must be page-aligned: {pa:#x}")
+    return (pa >> 12) << _PPN_SHIFT | flags
+
+
+def pte_target(pte: int) -> int:
+    """Physical address a PTE points at."""
+    return (pte & _PPN_MASK) >> _PPN_SHIFT << 12
+
+
+def pte_is_leaf(pte: int) -> bool:
+    """Whether the PTE is a leaf (any of R/W/X set)."""
+    return bool(pte & (PTE_R | PTE_W | PTE_X))
+
+
+@dataclasses.dataclass(frozen=True)
+class WalkResult:
+    """Outcome of a successful translation walk."""
+
+    pa: int
+    flags: int
+    level: int  # 0 = 4 KB leaf; higher = superpage
+    levels_touched: int  # table reads performed (for cycle charging)
+
+
+class PageTable:
+    """A radix page table scheme (generic over Sv39 / Sv39x4 geometry)."""
+
+    #: VPN field widths from root (index 0) to leaf.
+    vpn_bits: tuple = (9, 9, 9)
+
+    def __init__(self):
+        self.levels = len(self.vpn_bits)
+
+    @property
+    def root_entries(self) -> int:
+        return 1 << self.vpn_bits[0]
+
+    @property
+    def root_size(self) -> int:
+        return self.root_entries * 8
+
+    @property
+    def va_bits(self) -> int:
+        return 12 + sum(self.vpn_bits)
+
+    def _index(self, va: int, depth: int) -> int:
+        """Index into the table at ``depth`` (0 = root) for ``va``."""
+        below = sum(self.vpn_bits[depth + 1 :])
+        return (va >> (12 + below)) & ((1 << self.vpn_bits[depth]) - 1)
+
+    def _leaf_span(self, depth: int) -> int:
+        """Bytes covered by a leaf installed at ``depth``."""
+        below = sum(self.vpn_bits[depth + 1 :])
+        return PAGE_SIZE << below
+
+    def _check_va(self, va: int) -> None:
+        if not 0 <= va < (1 << self.va_bits):
+            raise MemoryError_(
+                f"address {va:#x} outside the {self.va_bits}-bit space"
+            )
+
+    # -- mapping -----------------------------------------------------------
+
+    def map(self, accessor, root_pa: int, va: int, pa: int, flags: int, alloc_table, level: int = 0):
+        """Install a leaf mapping ``va -> pa``.
+
+        ``alloc_table`` is called to obtain a zeroed, page-aligned frame for
+        each intermediate table that must be created; the caller thereby
+        controls *where tables live* (ZION's split-table design hinges on
+        this).  ``level`` 0 maps a 4 KB page; ``level`` 1 a 2 MB superpage,
+        etc.  Returns the list of table frames allocated.
+        """
+        self._check_va(va)
+        leaf_depth = self.levels - 1 - level
+        span = self._leaf_span(leaf_depth)
+        if va % span or pa % span:
+            raise ValueError(
+                f"level-{level} mapping requires {span:#x} alignment"
+            )
+        allocated = []
+        table = root_pa
+        for depth in range(leaf_depth):
+            slot = table + 8 * self._index(va, depth)
+            pte = accessor.read_u64(slot)
+            if not pte & PTE_V:
+                child = alloc_table()
+                allocated.append(child)
+                accessor.write_u64(slot, pte_pack(child, PTE_V))
+                table = child
+            elif pte_is_leaf(pte):
+                raise MemoryError_(
+                    f"cannot map {va:#x}: covered by a superpage at depth {depth}"
+                )
+            else:
+                table = pte_target(pte)
+        slot = table + 8 * self._index(va, leaf_depth)
+        old = accessor.read_u64(slot)
+        if old & PTE_V:
+            raise MemoryError_(f"{va:#x} is already mapped")
+        accessor.write_u64(slot, pte_pack(pa, flags | PTE_V))
+        return allocated
+
+    def unmap(self, accessor, root_pa: int, va: int) -> int:
+        """Remove the leaf covering ``va``; returns the old target PA."""
+        self._check_va(va)
+        table = root_pa
+        for depth in range(self.levels):
+            slot = table + 8 * self._index(va, depth)
+            pte = accessor.read_u64(slot)
+            if not pte & PTE_V:
+                raise MemoryError_(f"{va:#x} is not mapped")
+            if pte_is_leaf(pte):
+                accessor.write_u64(slot, 0)
+                return pte_target(pte)
+            table = pte_target(pte)
+        raise MemoryError_(f"walk for {va:#x} bottomed out without a leaf")
+
+    def set_flags(self, accessor, root_pa: int, va: int, flags: int) -> None:
+        """Rewrite the permission bits of the leaf covering ``va``."""
+        self._check_va(va)
+        table = root_pa
+        for depth in range(self.levels):
+            slot = table + 8 * self._index(va, depth)
+            pte = accessor.read_u64(slot)
+            if not pte & PTE_V:
+                raise MemoryError_(f"{va:#x} is not mapped")
+            if pte_is_leaf(pte):
+                accessor.write_u64(slot, pte & _PPN_MASK | flags | PTE_V)
+                return
+            table = pte_target(pte)
+
+    # -- translation -----------------------------------------------------------
+
+    def walk(self, accessor, root_pa: int, va: int) -> WalkResult | None:
+        """Translate ``va``; ``None`` when no valid leaf covers it."""
+        self._check_va(va)
+        table = root_pa
+        for depth in range(self.levels):
+            slot = table + 8 * self._index(va, depth)
+            pte = accessor.read_u64(slot)
+            if not pte & PTE_V:
+                return None
+            if pte_is_leaf(pte):
+                span = self._leaf_span(depth)
+                base = pte_target(pte)
+                return WalkResult(
+                    pa=base + (va & (span - 1)),
+                    flags=pte & 0xFF,
+                    level=self.levels - 1 - depth,
+                    levels_touched=depth + 1,
+                )
+            table = pte_target(pte)
+        return None
+
+    def permits(self, flags: int, access: AccessType) -> bool:
+        """Whether leaf permission ``flags`` allow ``access``."""
+        return bool(flags & _REQUIRED_BIT[access])
+
+    # -- introspection -----------------------------------------------------------
+
+    def iter_leaves(self, accessor, root_pa: int):
+        """Yield ``(va, pa, flags, level)`` for every installed leaf."""
+        yield from self._iter(accessor, root_pa, 0, 0)
+
+    def _iter(self, accessor, table: int, depth: int, va_prefix: int):
+        entries = self.root_entries if depth == 0 else 512
+        below = sum(self.vpn_bits[depth + 1 :])
+        for index in range(entries):
+            pte = accessor.read_u64(table + 8 * index)
+            if not pte & PTE_V:
+                continue
+            va = va_prefix | index << (12 + below)
+            if pte_is_leaf(pte):
+                yield va, pte_target(pte), pte & 0xFF, self.levels - 1 - depth
+            else:
+                yield from self._iter(accessor, pte_target(pte), depth + 1, va)
+
+    def iter_tables(self, accessor, root_pa: int):
+        """Yield the physical address of every table page (root included)."""
+        yield root_pa
+        yield from self._iter_tables(accessor, root_pa, 0)
+
+    def _iter_tables(self, accessor, table: int, depth: int):
+        if depth == self.levels - 1:
+            return
+        entries = self.root_entries if depth == 0 else 512
+        for index in range(entries):
+            pte = accessor.read_u64(table + 8 * index)
+            if pte & PTE_V and not pte_is_leaf(pte):
+                child = pte_target(pte)
+                yield child
+                yield from self._iter_tables(accessor, child, depth + 1)
+
+
+class Sv39(PageTable):
+    """Stage-1 (or bare-supervisor) 39-bit scheme: 512-entry root."""
+
+    vpn_bits = (9, 9, 9)
+
+
+class Sv39x4(PageTable):
+    """Stage-2 scheme: 41-bit guest-physical space, 16 KB / 2048-entry root."""
+
+    vpn_bits = (11, 9, 9)

@@ -1,0 +1,61 @@
+"""A small TLB model.
+
+Caches successful guest-physical translations keyed by ``(vmid, page)``.
+Capacity-bounded with FIFO replacement -- enough fidelity to express the
+performance effect ZION's world switches have (the PMP toggle forces an
+``hfence.gvma``, so a resumed guest re-walks its hot pages), without
+modelling associativity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class Tlb:
+    """Translation cache: (vmid, virtual page) -> (physical page, flags)."""
+
+    def __init__(self, capacity: int = 512):
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def lookup(self, vmid: int, vpage: int):
+        """Cached (ppage, flags) or ``None``."""
+        key = (vmid, vpage)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def insert(self, vmid: int, vpage: int, ppage: int, flags: int) -> None:
+        """Cache a translation, evicting the oldest entry at capacity."""
+        key = (vmid, vpage)
+        self._entries[key] = (ppage, flags)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def flush_all(self) -> None:
+        """Drop every cached translation."""
+        self._entries.clear()
+        self.flushes += 1
+
+    def flush_vmid(self, vmid: int) -> None:
+        """Drop all translations of one VMID."""
+        stale = [key for key in self._entries if key[0] == vmid]
+        for key in stale:
+            del self._entries[key]
+        self.flushes += 1
+
+    def flush_page(self, vmid: int, vpage: int) -> None:
+        """Drop one page's translation (no-op if absent)."""
+        self._entries.pop((vmid, vpage), None)
+
+    def __len__(self):
+        return len(self._entries)

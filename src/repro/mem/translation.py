@@ -1,0 +1,168 @@
+"""Two-stage address translation (VS-stage Sv39 over G-stage Sv39x4).
+
+Implements the hypervisor-extension translation pipeline: a guest virtual
+address is first translated by the guest-controlled VS-stage table (unless
+``vsatp`` is Bare), and every resulting guest-physical address -- including
+the VS-stage table pointers themselves -- is translated by the G-stage
+table.  Misses raise the architecturally-correct fault: VS-stage misses are
+ordinary page faults (handleable by the guest kernel), G-stage misses are
+guest-page faults (the hypervisor's or SM's job), carrying the faulting GPA
+for ``htval``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cycles import Category, CycleCosts, CycleLedger
+from repro.errors import TrapRaised
+from repro.isa.traps import AccessType, guest_page_fault_for, page_fault_for
+from repro.mem.pagetable import Sv39, Sv39x4
+from repro.mem.physmem import PAGE_SIZE
+from repro.mem.tlb import Tlb
+
+
+@dataclasses.dataclass(frozen=True)
+class TranslationResult:
+    """A completed translation."""
+
+    pa: int
+    gpa: int
+    flags: int
+    tlb_hit: bool
+
+
+class _RawAccessor:
+    """Page-walker view of DRAM: raw, charged per PTE read.
+
+    Hardware page-table-walker accesses are implicit loads; we model them
+    as raw DRAM reads (the walker runs with the translation machinery's
+    own access path) and charge one walk-level cost each.
+    """
+
+    def __init__(self, dram, ledger: CycleLedger, costs: CycleCosts):
+        self._dram = dram
+        self._ledger = ledger
+        self._costs = costs
+
+    def read_u64(self, addr: int) -> int:
+        self._ledger.charge(Category.PAGE_WALK, self._costs.page_walk_level)
+        return self._dram.read_u64(addr)
+
+    def write_u64(self, addr: int, value: int) -> None:
+        # The walker writes A/D bits in principle; ZION pre-sets them, so
+        # any write through this accessor is a simulator bug.
+        raise AssertionError("hardware walker performed a PTE write")
+
+
+class AddressTranslator:
+    """The per-machine translation unit (walker + TLB)."""
+
+    def __init__(self, bus, costs: CycleCosts, ledger: CycleLedger, tlb: Tlb | None = None):
+        self.bus = bus
+        self.costs = costs
+        self.ledger = ledger
+        self.tlb = tlb if tlb is not None else Tlb()
+        self.sv39 = Sv39()
+        self.sv39x4 = Sv39x4()
+
+    def _walker(self):
+        return _RawAccessor(self.bus.dram, self.ledger, self.costs)
+
+    def gpa_to_pa(self, hgatp_root: int, gpa: int, access: AccessType) -> tuple:
+        """G-stage only: translate a GPA, returning ``(pa, flags)``.
+
+        Raises the guest-page fault for ``access`` when unmapped or when
+        the leaf lacks the needed permission.
+        """
+        result = self.sv39x4.walk(self._walker(), hgatp_root, gpa)
+        if result is None or not self.sv39x4.permits(result.flags, access):
+            raise TrapRaised(
+                guest_page_fault_for(access),
+                tval=gpa,
+                gpa=gpa,
+                message=f"G-stage miss for {access.value} at GPA {gpa:#x}",
+            )
+        return result.pa, result.flags
+
+    def translate(
+        self,
+        hart,
+        vmid: int,
+        gva: int,
+        access: AccessType,
+        hgatp_root: int,
+        vsatp_root: int | None = None,
+    ) -> TranslationResult:
+        """Full two-stage translation of a guest access.
+
+        ``vsatp_root`` of ``None`` means VS-stage Bare (GVA == GPA), the
+        configuration our synthetic guests boot with.
+        """
+        vpage = gva >> 12
+        cached = self.tlb.lookup(vmid, vpage)
+        if cached is not None:
+            ppage, flags = cached
+            if self.sv39x4.permits(flags, access):
+                self.ledger.charge(Category.TLB, self.costs.tlb_hit)
+                pa = ppage << 12 | gva & (PAGE_SIZE - 1)
+                return TranslationResult(pa=pa, gpa=gva, flags=flags, tlb_hit=True)
+            # Permission-insufficient TLB entry: hardware re-walks.
+            self.tlb.flush_page(vmid, vpage)
+
+        if vsatp_root is None:
+            gpa = gva
+            leaf_flags = None
+        else:
+            gpa, leaf_flags = self._vs_stage(gva, access, hgatp_root, vsatp_root)
+
+        pa, g_flags = self.gpa_to_pa(hgatp_root, gpa, access)
+        flags = g_flags if leaf_flags is None else g_flags & leaf_flags
+
+        # The access itself is PMP-checked at the hart's effective privilege.
+        self.bus._cpu_check(hart, pa, 1, access)
+
+        self.tlb.insert(vmid, vpage, pa >> 12, flags)
+        return TranslationResult(pa=pa, gpa=gpa, flags=flags, tlb_hit=False)
+
+    def _vs_stage(self, gva: int, access: AccessType, hgatp_root: int, vsatp_root: int) -> tuple:
+        """VS-stage walk; each table pointer is itself G-stage translated."""
+        walker = self._walker()
+        table_gpa = vsatp_root
+        for depth in range(self.sv39.levels):
+            table_pa, _ = self.gpa_to_pa(hgatp_root, table_gpa, AccessType.LOAD)
+            slot = table_pa + 8 * self.sv39._index(gva, depth)
+            pte = walker.read_u64(slot)
+            if not pte & 1:  # PTE_V
+                raise TrapRaised(
+                    page_fault_for(access),
+                    tval=gva,
+                    message=f"VS-stage miss at GVA {gva:#x}",
+                )
+            if pte & 0b1110:  # leaf (R|W|X)
+                if not self.sv39.permits(pte & 0xFF, access):
+                    raise TrapRaised(
+                        page_fault_for(access),
+                        tval=gva,
+                        message=f"VS-stage permission fault at GVA {gva:#x}",
+                    )
+                span = self.sv39._leaf_span(depth)
+                base = (pte >> 10) << 12
+                return base + (gva & (span - 1)), pte & 0xFF
+            table_gpa = (pte >> 10) << 12
+        raise TrapRaised(page_fault_for(access), tval=gva, message="VS-stage bottomed out")
+
+    # -- fence instructions ------------------------------------------------------
+
+    def hfence_gvma(self, vmid: int | None = None) -> None:
+        """Flush G-stage translations (all VMIDs when ``vmid`` is None)."""
+        self.ledger.charge(Category.TLB, self.costs.tlb_flush_gvma)
+        if vmid is None:
+            self.tlb.flush_all()
+        else:
+            self.tlb.flush_vmid(vmid)
+
+    def sfence_page(self, vmid: int, gva: int) -> None:
+        """Flush one page's translation."""
+        self.ledger.charge(Category.TLB, self.costs.tlb_flush_page)
+        self.tlb.flush_page(vmid, gva >> 12)

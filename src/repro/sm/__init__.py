@@ -1,0 +1,56 @@
+"""The ZION Secure Monitor (SM) -- the paper's core contribution.
+
+The SM runs in M mode and is the system's only trusted software.  It
+implements (paper section IV):
+
+- the **short-path CVM mode**: world switches between Normal mode and CVM
+  mode take a single privilege-level transition through the SM
+  (:mod:`repro.sm.world_switch`);
+- **secure + shared vCPU** state protection with Check-after-Load TOCTOU
+  defence (:mod:`repro.sm.vcpu`);
+- **PMP + paging memory isolation**: a PMP-guarded secure memory pool,
+  with stage-2 page tables (stored inside the pool, SM-owned) isolating
+  CVMs from each other (:mod:`repro.sm.secmem`, :mod:`repro.sm.monitor`);
+- **hierarchical memory management**: 256 KB secure blocks on a circular
+  doubly-linked list, per-vCPU page caches, three-stage allocation
+  (:mod:`repro.sm.alloc`);
+- **split-page-table memory sharing** for virtio (:mod:`repro.sm.share`);
+- the **trap-delegation policy** that keeps CVM traps away from the
+  untrusted hypervisor (:mod:`repro.sm.delegation`);
+- **attestation**: boot measurement, signed reports, platform randomness
+  (:mod:`repro.sm.attestation`).
+"""
+
+from repro.sm.secmem import SECURE_BLOCK_SIZE, SecureMemoryBlock, SecureMemoryPool
+from repro.sm.alloc import AllocStage, HierarchicalAllocator, PoolExhausted
+from repro.sm.vcpu import SHARED_VCPU_FIELDS, SecureVcpu, SharedVcpu, VcpuState
+from repro.sm.cvm import ConfidentialVm, CvmState, GpaLayout
+from repro.sm.monitor import SecureMonitor
+from repro.sm.attestation import AttestationReport
+from repro.sm.abi import EcallInterface, GuestFunction, HostFunction, SbiError
+from repro.sm.migration import derive_migration_key, export_cvm, import_cvm
+
+__all__ = [
+    "SECURE_BLOCK_SIZE",
+    "SecureMemoryBlock",
+    "SecureMemoryPool",
+    "AllocStage",
+    "HierarchicalAllocator",
+    "PoolExhausted",
+    "SecureVcpu",
+    "SharedVcpu",
+    "SHARED_VCPU_FIELDS",
+    "VcpuState",
+    "ConfidentialVm",
+    "CvmState",
+    "GpaLayout",
+    "SecureMonitor",
+    "AttestationReport",
+    "EcallInterface",
+    "HostFunction",
+    "GuestFunction",
+    "SbiError",
+    "derive_migration_key",
+    "export_cvm",
+    "import_cvm",
+]

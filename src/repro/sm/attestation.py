@@ -1,0 +1,126 @@
+"""Measurement and attestation services.
+
+ZION's SM exposes ECALLs for confidential VMs to retrieve measurement
+reports and platform random numbers (paper section III-A).  The SM
+measures the guest image and launch configuration at finalisation
+(SHA-256), and reports are authenticated with a platform key -- modelled
+as HMAC-SHA256 with a per-machine device secret, standing in for the
+hardware-fused attestation key of a production part.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import hmac
+
+
+@dataclasses.dataclass(frozen=True)
+class AttestationReport:
+    """A signed launch-measurement report.
+
+    ``rtmr_digest`` summarises the runtime measurement registers at
+    signing time (SHA-256 over their concatenation); a verifier replays
+    the guest's event log against it.
+    """
+
+    cvm_id: int
+    measurement: bytes
+    nonce: bytes
+    report_data: bytes
+    signature: bytes
+    rtmr_digest: bytes = bytes(32)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering (hex-encoded byte fields)."""
+        return {
+            "cvm_id": self.cvm_id,
+            "measurement": self.measurement.hex(),
+            "nonce": self.nonce.hex(),
+            "report_data": self.report_data.hex(),
+            "rtmr_digest": self.rtmr_digest.hex(),
+            "signature": self.signature.hex(),
+        }
+
+
+class MeasurementLog:
+    """Accumulates launch-time measurements for one CVM."""
+
+    def __init__(self):
+        self._hash = hashlib.sha256()
+        self._finalized = False
+        self.digest: bytes | None = None
+
+    def extend(self, label: str, data: bytes) -> None:
+        """Append one labelled measurement to the running hash."""
+        if self._finalized:
+            raise ValueError("measurement already finalized")
+        self._hash.update(len(label).to_bytes(4, "little"))
+        self._hash.update(label.encode())
+        self._hash.update(len(data).to_bytes(8, "little"))
+        self._hash.update(data)
+
+    def finalize(self) -> bytes:
+        """Seal the log and return (or re-return) its digest."""
+        if not self._finalized:
+            self.digest = self._hash.digest()
+            self._finalized = True
+        return self.digest
+
+
+class AttestationService:
+    """The SM's attestation backend.
+
+    ``device_secret`` models the hardware root key; ``entropy_seed``
+    drives a deterministic DRBG for platform random numbers (the
+    simulation must be reproducible, so there is no OS entropy here).
+    """
+
+    def __init__(self, device_secret: bytes, entropy_seed: bytes):
+        self._device_secret = device_secret
+        self._drbg_state = hashlib.sha256(entropy_seed).digest()
+        self._counter = 0
+
+    def random_bytes(self, count: int) -> bytes:
+        """Platform random numbers (hash-DRBG)."""
+        out = b""
+        while len(out) < count:
+            self._counter += 1
+            block = hmac.new(
+                self._drbg_state,
+                self._counter.to_bytes(8, "little"),
+                hashlib.sha256,
+            ).digest()
+            out += block
+        self._drbg_state = hashlib.sha256(self._drbg_state + out[:32]).digest()
+        return out[:count]
+
+    def sign_report(self, cvm_id: int, measurement: bytes, report_data: bytes,
+                    rtmr_digest: bytes = bytes(32)) -> AttestationReport:
+        """Produce a signed report binding measurement, RTMRs, user data."""
+        nonce = self.random_bytes(16)
+        payload = (
+            cvm_id.to_bytes(8, "little") + measurement + nonce
+            + rtmr_digest + report_data
+        )
+        signature = hmac.new(self._device_secret, payload, hashlib.sha256).digest()
+        return AttestationReport(
+            cvm_id=cvm_id,
+            measurement=measurement,
+            nonce=nonce,
+            report_data=report_data,
+            signature=signature,
+            rtmr_digest=rtmr_digest,
+        )
+
+    def verify_report(self, report: AttestationReport) -> bool:
+        """Verifier-side check (a relying party with the platform key)."""
+        payload = (
+            report.cvm_id.to_bytes(8, "little")
+            + report.measurement
+            + report.nonce
+            + report.rtmr_digest
+            + report.report_data
+        )
+        expected = hmac.new(self._device_secret, payload, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, report.signature)

@@ -1,0 +1,163 @@
+"""Confidential VM migration (extension; cf. VirTEE's native live migration).
+
+The paper positions ZION against VirTEE, whose headline extra is live
+migration.  This module adds SM-mediated migration to ZION's design: the
+source SM serialises a *suspended* CVM -- layout, measurement, full vCPU
+register state, and every private page -- into a blob encrypted and
+authenticated under a migration key the two SMs share (modelled as being
+derived from a fleet provisioning secret plus both parties' nonces; a
+production design would run attestation-based key agreement).  The
+untrusted hypervisors ferry the blob; they can neither read nor undetectably
+modify it.
+
+Crypto is stdlib-only: an HMAC-SHA256 keystream cipher (CTR construction)
+with encrypt-then-MAC.  The construction is standard; the primitive
+choice is a simulation stand-in for the AES-GCM a real SM would use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import struct
+
+from repro.cycles import Category
+from repro.errors import SecurityViolation
+from repro.mem.pagetable import Sv39x4
+from repro.mem.physmem import PAGE_SIZE
+from repro.sm.cvm import CvmState, GpaLayout
+
+_MAGIC = b"ZIONMIG1"
+
+
+def derive_migration_key(fleet_secret: bytes, src_nonce: bytes, dst_nonce: bytes) -> bytes:
+    """Both SMs derive the same key from the fleet secret + fresh nonces."""
+    return hmac.new(fleet_secret, b"migrate" + src_nonce + dst_nonce, hashlib.sha256).digest()
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    enc_key = hmac.new(key, b"enc", hashlib.sha256).digest()
+    while len(out) < length:
+        out += hmac.new(enc_key, struct.pack("<Q", counter), hashlib.sha256).digest()
+        counter += 1
+    return bytes(out[:length])
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def _mac(key: bytes, data: bytes) -> bytes:
+    mac_key = hmac.new(key, b"mac", hashlib.sha256).digest()
+    return hmac.new(mac_key, data, hashlib.sha256).digest()
+
+
+def export_cvm(monitor, cvm_id: int, key: bytes) -> bytes:
+    """Serialise + seal a suspended CVM; the CVM is destroyed afterwards.
+
+    Only the SM can do this (it reads pool pages with M-mode access); the
+    returned blob is what the hypervisor gets to see and transport.
+    """
+    cvm = monitor._cvm(cvm_id)
+    cvm.require_state(CvmState.SUSPENDED)
+
+    class Raw:
+        def read_u64(self, addr):
+            return monitor.dram.read_u64(addr)
+
+    pages = []
+    for gpa, pa, _flags, _level in Sv39x4().iter_leaves(Raw(), cvm.hgatp_root):
+        if cvm.layout.in_private_dram(gpa):
+            pages.append((gpa, monitor.dram.read(pa, PAGE_SIZE)))
+    pages.sort()
+
+    header = {
+        "layout": {
+            "dram_base": cvm.layout.dram_base,
+            "dram_size": cvm.layout.dram_size,
+            "mmio_base": cvm.layout.mmio_base,
+            "mmio_size": cvm.layout.mmio_size,
+            "shared_base": cvm.layout.shared_base,
+            "shared_size": cvm.layout.shared_size,
+        },
+        "measurement": cvm.measurement.hex() if cvm.measurement else None,
+        "rtmrs": [r.hex() for r in cvm.rtmrs],
+        "vcpus": [
+            {
+                "gprs": vcpu.gprs,
+                "csrs": vcpu.csrs,
+                "pc": vcpu.pc,
+            }
+            for vcpu in cvm.vcpus
+        ],
+        "page_count": len(pages),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    body = bytearray()
+    body += struct.pack("<I", len(header_bytes))
+    body += header_bytes
+    for gpa, data in pages:
+        body += struct.pack("<Q", gpa)
+        body += data
+    plaintext = bytes(body)
+
+    monitor.ledger.charge(Category.COPY, monitor.costs.copy_bytes(len(plaintext)))
+    monitor.ledger.charge(Category.SM_LOGIC, 12_000)  # key schedule + bookkeeping
+    ciphertext = _xor(plaintext, _keystream(key, len(plaintext)))
+    blob = _MAGIC + ciphertext + _mac(key, ciphertext)
+
+    # The source instance is gone: scrub and recycle, like destroy.
+    monitor.ecall_resume(cvm_id)  # destroy requires a non-suspended state
+    monitor.ecall_destroy(cvm_id)
+    return blob
+
+
+def import_cvm(monitor, blob: bytes, key: bytes, vcpu_count: int | None = None) -> int:
+    """Verify, decrypt and re-instantiate a migrated CVM.
+
+    Returns the new ``cvm_id`` (FINALIZED, ready to run once the host
+    provisions shared vCPU pages and the shared subtree).  Raises
+    :class:`SecurityViolation` for any authenticity failure.
+    """
+    if len(blob) < len(_MAGIC) + 32 or not blob.startswith(_MAGIC):
+        raise SecurityViolation("migration blob framing invalid")
+    ciphertext, tag = blob[len(_MAGIC):-32], blob[-32:]
+    if not hmac.compare_digest(_mac(key, ciphertext), tag):
+        raise SecurityViolation("migration blob failed authentication")
+    monitor.ledger.charge(Category.COPY, monitor.costs.copy_bytes(len(ciphertext)))
+    monitor.ledger.charge(Category.SM_LOGIC, 12_000)
+    plaintext = _xor(ciphertext, _keystream(key, len(ciphertext)))
+
+    (header_len,) = struct.unpack_from("<I", plaintext, 0)
+    header = json.loads(plaintext[4 : 4 + header_len].decode())
+    layout = GpaLayout(**header["layout"])
+    vcpus = header["vcpus"]
+
+    cvm_id = monitor.ecall_create_cvm(layout, vcpu_count or len(vcpus))
+    cvm = monitor.cvms[cvm_id]
+
+    offset = 4 + header_len
+    for _ in range(header["page_count"]):
+        (gpa,) = struct.unpack_from("<Q", plaintext, offset)
+        offset += 8
+        data = plaintext[offset : offset + PAGE_SIZE]
+        offset += PAGE_SIZE
+        pa = monitor._alloc_and_map(cvm, 0, gpa)
+        monitor.dram.write(pa, data)
+        monitor.ledger.charge(Category.COPY, monitor.costs.copy_bytes(PAGE_SIZE))
+
+    for vcpu, state in zip(cvm.vcpus, vcpus):
+        vcpu.gprs = dict(state["gprs"])
+        vcpu.csrs = dict(state["csrs"])
+        vcpu.pc = state["pc"]
+
+    if header["measurement"] is not None:
+        cvm.measurement = bytes.fromhex(header["measurement"])
+    cvm.rtmrs = [bytes.fromhex(r) for r in header.get("rtmrs", [])] or cvm.rtmrs
+    cvm.measurement_log.extend("migrated-in", blob[-32:])
+    cvm.measurement_log.finalize()
+    cvm.state = CvmState.CREATED  # still needs shared vCPUs from the host
+    return cvm_id

@@ -1,0 +1,164 @@
+"""Split-page-table memory sharing (paper section IV-E).
+
+The CVM's stage-2 root (16 KB, in secure memory, writable only by the SM)
+is split at a root-index boundary:
+
+- indexes covering the **private** region point at SM-managed subtrees
+  whose table pages live inside the secure pool;
+- indexes covering the **shared** region point at **hypervisor-provided**
+  level-1 tables in normal memory.  The hypervisor edits those subtrees
+  directly -- no SM synchronisation -- which is the whole point of the
+  design: shared-memory updates (virtio rings, SWIOTLB bounce buffers)
+  bypass the SM entirely.
+
+Security comes from two facts this module enforces/validates:
+
+1. the SM only links a shared subtree after checking the donated table
+   does *not* live in secure memory (else the hypervisor couldn't edit it,
+   and worse, linking would let it leak pool contents);
+2. a shared-subtree leaf must never target secure-pool memory.  The SM
+   validates donated mappings, and the walk-time check in the machine
+   models the PMP backstop for the hypervisor's own accesses.
+"""
+
+from __future__ import annotations
+
+from repro.cycles import Category, CycleCosts, CycleLedger
+from repro.errors import SecurityViolation
+from repro.mem.pagetable import PTE_D, PTE_R, PTE_U, PTE_W, PTE_X, Sv39x4, pte_is_leaf, pte_target
+from repro.mem.physmem import PAGE_SIZE
+from repro.sm.cvm import ConfidentialVm
+from repro.sm.secmem import SecureMemoryPool
+
+
+class SplitTableManager:
+    """SM-side management of the private/shared stage-2 split."""
+
+    def __init__(self, pool: SecureMemoryPool, dram, ledger: CycleLedger, costs: CycleCosts):
+        self._pool = pool
+        self._dram = dram
+        self._ledger = ledger
+        self._costs = costs
+        self._sv39x4 = Sv39x4()
+
+    def shared_root_index_base(self, cvm: ConfidentialVm) -> int:
+        """First stage-2 root index belonging to the shared region."""
+        return cvm.layout.shared_base >> 30  # each root entry spans 1 GiB
+
+    def root_index_of(self, gpa: int) -> int:
+        """The stage-2 root slot covering this GPA (1 GiB per slot)."""
+        return gpa >> 30
+
+    # -- linking hypervisor-provided subtrees ------------------------------
+
+    def link_shared_subtree(self, cvm: ConfidentialVm, root_index: int, table_pa: int) -> None:
+        """Install a hypervisor-donated level-1 table under the shared split.
+
+        Validates: the index is in the shared half; the table lives in
+        normal memory; the table is page-aligned and currently holds no
+        mapping that reaches secure memory.
+        """
+        if cvm.hgatp_root is None:
+            raise SecurityViolation("CVM has no stage-2 root yet")
+        if root_index < self.shared_root_index_base(cvm):
+            raise SecurityViolation(
+                f"root index {root_index} is in the private half; the "
+                "hypervisor may only provide shared-region subtrees"
+            )
+        if table_pa % PAGE_SIZE:
+            raise SecurityViolation("shared subtree table must be page-aligned")
+        if self._pool.contains(table_pa, PAGE_SIZE):
+            raise SecurityViolation(
+                "shared subtree table lies inside the secure pool"
+            )
+        self._validate_subtree(table_pa, depth=1)
+        self._ledger.charge(Category.SM_LOGIC, self._costs.ownership_check)
+        slot = cvm.hgatp_root + 8 * root_index
+        self._dram.write_u64(slot, (table_pa >> 12) << 10 | 1)  # non-leaf PTE
+        cvm.shared_subtrees[root_index] = table_pa
+
+    def _validate_subtree(self, table_pa: int, depth: int) -> None:
+        """Reject any existing PTE in a donated subtree that reaches the pool."""
+        for index in range(512):
+            pte = self._dram.read_u64(table_pa + 8 * index)
+            if not pte & 1:
+                continue
+            target = pte_target(pte)
+            if pte_is_leaf(pte):
+                if self._pool.contains(target, PAGE_SIZE):
+                    raise SecurityViolation(
+                        f"donated shared subtree maps secure memory at {target:#x}"
+                    )
+            elif depth < 2:
+                if self._pool.contains(target, PAGE_SIZE):
+                    raise SecurityViolation(
+                        "donated shared subtree points into the secure pool"
+                    )
+                self._validate_subtree(target, depth + 1)
+
+    # -- walk-time backstop -------------------------------------------------
+
+    def shared_leaf_is_safe(self, pa: int) -> bool:
+        """Whether a shared-region leaf target is acceptable (normal memory)."""
+        return not self._pool.contains(pa, PAGE_SIZE)
+
+    # -- SM-side private mapping ----------------------------------------------
+
+    def map_private(
+        self,
+        cvm: ConfidentialVm,
+        gpa: int,
+        pa: int,
+        alloc_table,
+        writable: bool = True,
+        executable: bool = True,
+    ) -> None:
+        """Map a private-region GPA to a secure frame (SM raw access).
+
+        ``alloc_table`` must return zeroed secure-pool pages (the paper's
+        controlled-channel defence: CVM page tables never leave the pool).
+        Enforces CVM-disjointness: the frame must be owned by this CVM.
+        """
+        if not cvm.layout.in_private_dram(gpa):
+            raise SecurityViolation(
+                f"GPA {gpa:#x} is not in CVM {cvm.cvm_id}'s private DRAM"
+            )
+        owner = self._pool.owner_of(pa & ~(PAGE_SIZE - 1))
+        self._ledger.charge(Category.SM_LOGIC, self._costs.ownership_check)
+        if owner != cvm.cvm_id:
+            raise SecurityViolation(
+                f"frame {pa:#x} is owned by {owner!r}, not CVM {cvm.cvm_id}"
+            )
+        flags = PTE_R | PTE_U | PTE_D | (PTE_W if writable else 0) | (PTE_X if executable else 0)
+        tables = self._sv39x4.map(
+            _RawAccessor(self._dram), cvm.hgatp_root, gpa, pa, flags, alloc_table
+        )
+        for table in tables:
+            if not self._pool.contains(table, PAGE_SIZE):
+                raise SecurityViolation(
+                    "private page-table page allocated outside the secure pool"
+                )
+        self._ledger.charge(
+            Category.PAGE_WALK, self._costs.page_walk_level * self._sv39x4.levels
+        )
+
+    def unmap_private(self, cvm: ConfidentialVm, gpa: int) -> int:
+        """Remove a private mapping; returns the frame for scrubbing."""
+        pa = self._sv39x4.unmap(_RawAccessor(self._dram), cvm.hgatp_root, gpa)
+        self._ledger.charge(
+            Category.PAGE_WALK, self._costs.page_walk_level * self._sv39x4.levels
+        )
+        return pa
+
+
+class _RawAccessor:
+    """M-mode (unchecked) PTE accessor for the SM's own table edits."""
+
+    def __init__(self, dram):
+        self._dram = dram
+
+    def read_u64(self, addr: int) -> int:
+        return self._dram.read_u64(addr)
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self._dram.write_u64(addr, value)

@@ -1,0 +1,283 @@
+"""World switching between Normal mode and CVM mode (paper sections IV-A/B).
+
+The **short path** is ZION's isolation-mode contribution: the SM alone
+performs the execution-state switch, so entering or leaving CVM mode costs
+a single privilege-level transition.  The **long path**, implemented here
+as the experimental baseline for the paper's section V-B.2 comparison,
+routes every switch through a thin secure hypervisor the way
+CoVE/TwinVisor/CCA-style designs do: host -> SM -> secure hypervisor ->
+CVM on entry and the reverse on exit, each leg paying trap entry, context
+save/restore, and the secure hypervisor's own bookkeeping.
+
+Every cost in these paths is charged from primitives as the corresponding
+code would execute; the totals the benchmarks report are emergent.
+"""
+
+from __future__ import annotations
+
+from repro.cycles import Category, CycleCosts, CycleLedger
+from repro.isa import status
+from repro.isa.privilege import PrivilegeMode
+from repro.sm import delegation
+from repro.sm.cvm import ConfidentialVm
+from repro.sm.vcpu import GUEST_CSRS, CheckAfterLoad, SecureVcpu, SharedVcpu
+
+#: Shared-vCPU fields written on an MMIO-style exit.
+_MMIO_EXIT_FIELDS = ("exit_cause", "htval", "htinst", "gpr_index", "gpr_value")
+
+
+class WorldSwitch:
+    """Executes (and charges) CVM entry/exit transitions on a hart."""
+
+    def __init__(
+        self,
+        ledger: CycleLedger,
+        costs: CycleCosts,
+        translator,
+        pmp_controller,
+        use_shared_vcpu: bool = True,
+        long_path: bool = False,
+    ):
+        self.ledger = ledger
+        self.costs = costs
+        self.translator = translator
+        self.pmp = pmp_controller
+        self.use_shared_vcpu = use_shared_vcpu
+        self.long_path = long_path
+        self.check_after_load = CheckAfterLoad(ledger, costs)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _charge(self, category: Category, cycles) -> None:
+        self.ledger.charge(category, cycles)
+
+    def _save_guest_state(self, hart, vcpu: SecureVcpu) -> None:
+        vcpu.save_from(hart)
+        self._charge(Category.REG_SAVE, self.costs.gpr_file_save)
+        self._charge(Category.REG_SAVE, len(GUEST_CSRS) * self.costs.csr_read)
+
+    def _restore_guest_state(self, hart, vcpu: SecureVcpu) -> None:
+        vcpu.restore_to(hart)
+        self._charge(Category.REG_SAVE, self.costs.gpr_file_save)
+        self._charge(Category.REG_SAVE, len(GUEST_CSRS) * self.costs.csr_write)
+
+    def _swap_to_hyp_context(self, hart) -> None:
+        self._charge(
+            Category.REG_SAVE,
+            self.costs.hyp_csr_context * self.costs.csr_swap + self.costs.gpr_file_save,
+        )
+
+    def _save_hyp_context(self, hart) -> None:
+        self._charge(
+            Category.REG_SAVE,
+            self.costs.hyp_csr_context * self.costs.csr_read + self.costs.gpr_file_save,
+        )
+
+    def _apply_delegation(self, hart, profile) -> None:
+        profile.apply(hart)
+        self._charge(Category.REG_SAVE, 4 * self.costs.csr_write)
+
+    # -- CVM exit ------------------------------------------------------------
+
+    def exit_to_normal(self, hart, cvm: ConfidentialVm, vcpu: SecureVcpu, exit_info: dict) -> None:
+        """Leave CVM mode for Normal mode.
+
+        ``exit_info`` describes why (``kind`` plus cause-specific fields);
+        it becomes the secure vCPU's exit context (the Check-after-Load
+        reference) and, for MMIO exits, the shared-vCPU payload.
+        """
+        # Hardware trap into M mode (the SM's trap vector): mstatus
+        # records the interrupted guest mode, mepc/mcause the context.
+        self._charge(Category.TRAP, self.costs.trap_to_m)
+        mstatus = status.encode_trap_entry(hart.csrs.read_raw("mstatus"), hart.mode)
+        hart.csrs.write_raw("mstatus", mstatus)
+        hart.csrs.write_raw("mepc", vcpu.pc)
+        hart.csrs.write_raw("mcause", exit_info.get("cause", 0))
+        hart.mode = PrivilegeMode.M
+        self._charge(Category.SM_LOGIC, self.costs.sm_exit_logic)
+
+        self._save_guest_state(hart, vcpu)
+        vcpu.exit_context = dict(exit_info)
+        cvm.exit_count += 1
+        kind = exit_info.get("kind", "unknown")
+        cvm.exit_reasons[kind] = cvm.exit_reasons.get(kind, 0) + 1
+        if exit_info.get("kind", "").startswith("mmio"):
+            self._charge(Category.SM_LOGIC, self.costs.sm_mmio_decode)
+
+        shared = cvm.shared_vcpus[vcpu.vcpu_id]
+        if self.use_shared_vcpu:
+            self._publish_exit_fields(shared, exit_info)
+        else:
+            self._publish_full_state(shared, vcpu, exit_info)
+
+        if self.long_path:
+            self._long_path_leg_exit()
+
+        # Close the secure pool and drop translations that reach it.
+        self.pmp.close_pool(hart)
+        self.translator.hfence_gvma()
+
+        self._apply_delegation(hart, delegation.NORMAL_MODE)
+        self._swap_to_hyp_context(hart)
+
+        # mret to the hypervisor: MPP=S, MPV=0.
+        mstatus = status.with_mpp(hart.csrs.read_raw("mstatus"), PrivilegeMode.HS.level)
+        mstatus &= ~status.MSTATUS_MPV
+        hart.csrs.write_raw("mstatus", mstatus)
+        self._charge(Category.TRAP, self.costs.xret)
+        hart.mode = status.mret_target(mstatus)
+        hart.csrs.write_raw("mstatus", status.encode_mret(mstatus))
+        vcpu.state = vcpu.state.__class__.WAITING_HYP
+
+    def _publish_exit_fields(self, shared: SharedVcpu, exit_info: dict) -> None:
+        """Shared-vCPU fast path: only the cause-specific registers cross."""
+        fields = {
+            "exit_cause": exit_info.get("cause", 0),
+            "htval": exit_info.get("htval", 0),
+            "htinst": exit_info.get("htinst", 0),
+            "gpr_index": exit_info.get("gpr_index", 0),
+            "gpr_value": exit_info.get("gpr_value", 0),
+        }
+        kind = exit_info.get("kind", "")
+        if kind.startswith("mmio"):
+            written = _MMIO_EXIT_FIELDS
+        elif kind == "shared_fault":
+            written = ("exit_cause", "htval")
+        else:
+            written = ("exit_cause",)
+        for name in written:
+            shared.sm_write(name, fields[name])
+            self._charge(Category.REG_SAVE, self.costs.field_copy)
+        # Clear every slot not owned by this exit so stale hypervisor data
+        # (or a previous exit's payload) cannot echo back through
+        # Check-after-Load.
+        for name in ("htval", "htinst", "gpr_index", "gpr_value", "sepc_advance", "pending_irq"):
+            if name not in written:
+                shared.sm_write(name, 0)
+                self._charge(Category.REG_SAVE, self.costs.field_copy)
+
+    def _publish_full_state(self, shared: SharedVcpu, vcpu: SecureVcpu, exit_info: dict) -> None:
+        """Unoptimised baseline: sanitise and copy the *entire* vCPU state.
+
+        This is the no-shared-vCPU design the paper's section V-B.1
+        measures against: every GPR and guest CSR is scrubbed of
+        SM-internal bits and copied into the exchange page -- a strict
+        superset of what the fast path publishes, so the exit-specific
+        fields still cross (the hypervisor needs them to emulate).
+        """
+        field_count = len(vcpu.gprs) + len(GUEST_CSRS)
+        self._charge(Category.VALIDATE, field_count * self.costs.sanitize_field)
+        self._publish_exit_fields(shared, exit_info)
+
+    # -- CVM entry ------------------------------------------------------------
+
+    def enter_cvm(self, hart, cvm: ConfidentialVm, vcpu: SecureVcpu) -> dict:
+        """Enter CVM mode from Normal mode (the hypervisor's run ECALL).
+
+        Returns the validated hypervisor reply (empty when there was no
+        exit to reply to, e.g. first entry).
+        """
+        # The hypervisor's ECALL traps into M mode.
+        self._charge(Category.TRAP, self.costs.trap_to_m)
+        mstatus = status.encode_trap_entry(hart.csrs.read_raw("mstatus"), hart.mode)
+        hart.csrs.write_raw("mstatus", mstatus)
+        hart.mode = PrivilegeMode.M
+        self._charge(Category.SM_LOGIC, self.costs.ecall_dispatch)
+        self._save_hyp_context(hart)
+        self._charge(Category.SM_LOGIC, self.costs.sm_entry_logic)
+
+        shared = cvm.shared_vcpus[vcpu.vcpu_id]
+        reply: dict = {}
+        if vcpu.exit_context is not None:
+            if self.use_shared_vcpu:
+                reply = self.check_after_load.validate_reply(vcpu, shared)
+            else:
+                reply = self._validate_full_state(vcpu, shared)
+            self._apply_reply(vcpu, reply)
+            vcpu.exit_context = None
+
+        if self.long_path:
+            self._long_path_leg_entry()
+
+        self._restore_guest_state(hart, vcpu)
+        self._apply_delegation(hart, delegation.CVM_MODE)
+
+        # Open the secure pool for CVM mode and flush stale translations.
+        self.pmp.open_pool(hart)
+        self.translator.hfence_gvma()
+
+        # mret into the guest: MPP=S with MPV=1 selects VS mode.
+        mstatus = status.with_mpp(hart.csrs.read_raw("mstatus"), PrivilegeMode.VS.level)
+        mstatus |= status.MSTATUS_MPV
+        hart.csrs.write_raw("mstatus", mstatus)
+        self._charge(Category.TRAP, self.costs.xret)
+        hart.mode = status.mret_target(mstatus)
+        hart.csrs.write_raw("mstatus", status.encode_mret(mstatus))
+        vcpu.state = vcpu.state.__class__.RUNNING
+        cvm.entry_count += 1
+        return reply
+
+    def _validate_full_state(self, vcpu: SecureVcpu, shared: SharedVcpu) -> dict:
+        """Unoptimised baseline: validate every field of the returned state."""
+        field_count = len(vcpu.gprs) + len(GUEST_CSRS)
+        self._charge(Category.VALIDATE, field_count * self.costs.validate_field)
+        # The usable reply content is the same as the fast path's.
+        return self.check_after_load.validate_reply(vcpu, shared)
+
+    def _apply_reply(self, vcpu: SecureVcpu, reply: dict) -> None:
+        if "gpr_value" in reply:
+            from repro.isa.hart import GPR_NAMES
+
+            index = reply["gpr_index"]
+            if 1 <= index <= len(GPR_NAMES):
+                vcpu.gprs[GPR_NAMES[index - 1]] = reply["gpr_value"]
+            # Injecting the result re-derives the target register from the
+            # trapped instruction (htinst decode on the entry side too).
+            self._charge(Category.SM_LOGIC, self.costs.sm_mmio_decode)
+            self._charge(Category.REG_SAVE, self.costs.field_copy)
+        if reply.get("sepc_advance"):
+            vcpu.pc += reply["sepc_advance"]
+            vcpu.csrs["sepc"] = vcpu.pc
+            self._charge(Category.REG_SAVE, self.costs.field_copy)
+        if reply.get("pending_irq"):
+            vcpu.csrs["hvip"] |= reply["pending_irq"]
+            self._charge(Category.REG_SAVE, self.costs.field_copy)
+
+    # -- long-path baseline legs ----------------------------------------------
+
+    def _long_path_leg_exit(self) -> None:
+        """CVM -> secure hypervisor -> SM (two extra transitions).
+
+        Models the CoVE/TwinVisor-style route: the SM first resumes the
+        secure hypervisor (context restore + mret), the secure hypervisor
+        does its own vCPU bookkeeping, then ECALLs back into the SM, which
+        saves the secure hypervisor's context again before continuing the
+        exit toward the host.
+        """
+        self._charge(
+            Category.REG_SAVE,
+            self.costs.hyp_csr_context * self.costs.csr_swap + self.costs.gpr_file_save,
+        )
+        self._charge(Category.TRAP, self.costs.xret)
+        self._charge(Category.HYP_LOGIC, self.costs.sec_hyp_exit_logic)
+        self._charge(Category.TRAP, self.costs.trap_to_m)
+        self._charge(Category.SM_LOGIC, self.costs.ecall_dispatch)
+        self._charge(
+            Category.REG_SAVE,
+            self.costs.hyp_csr_context * self.costs.csr_read + self.costs.gpr_file_save,
+        )
+
+    def _long_path_leg_entry(self) -> None:
+        """SM -> secure hypervisor -> SM on the way into the CVM."""
+        self._charge(
+            Category.REG_SAVE,
+            self.costs.hyp_csr_context * self.costs.csr_swap + self.costs.gpr_file_save,
+        )
+        self._charge(Category.TRAP, self.costs.xret)
+        self._charge(Category.HYP_LOGIC, self.costs.sec_hyp_entry_logic)
+        self._charge(Category.TRAP, self.costs.trap_to_m)
+        self._charge(Category.SM_LOGIC, self.costs.ecall_dispatch)
+        self._charge(
+            Category.REG_SAVE,
+            self.costs.hyp_csr_context * self.costs.csr_read + self.costs.gpr_file_save,
+        )

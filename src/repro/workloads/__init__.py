@@ -1,0 +1,40 @@
+"""Guest workloads reproducing the paper's evaluation programs.
+
+Each workload is a function of a :class:`~repro.machine.GuestContext`
+issuing the same *architectural event mix* the real program generates on
+the paper's platform: compute blocks, working-set memory touches (which
+exercise faults and TLB refills), MMIO, and virtio I/O.  Guest-internal
+instruction streams are not modelled -- they are identical between a
+normal and a confidential VM on real hardware too, so the comparison
+depends only on the event mix, which is what these synthesize.
+
+Workload profiles (working-set size, I/O rates, per-operation costs) are
+calibrated against the paper's platform; see ``DESIGN.md`` section 5.
+"""
+
+from repro.workloads.profiles import RV8_PROFILES, CpuWorkloadProfile
+from repro.workloads.cpu import cpu_bound_workload
+from repro.workloads.coremark import COREMARK_PROFILE, coremark_workload
+from repro.workloads.redis import (
+    REDIS_OPS,
+    RedisBenchmarkClient,
+    RedisServer,
+    redis_benchmark,
+)
+from repro.workloads.iozone import IozoneResult, iozone_run
+from repro.workloads.memstress import sequential_write_stress
+
+__all__ = [
+    "CpuWorkloadProfile",
+    "RV8_PROFILES",
+    "cpu_bound_workload",
+    "COREMARK_PROFILE",
+    "coremark_workload",
+    "RedisServer",
+    "RedisBenchmarkClient",
+    "REDIS_OPS",
+    "redis_benchmark",
+    "IozoneResult",
+    "iozone_run",
+    "sequential_write_stress",
+]

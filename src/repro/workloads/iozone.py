@@ -1,0 +1,244 @@
+"""IOZone-like sequential file I/O benchmark (paper Fig. 4).
+
+Models the path real IOZone takes on a 256 MB guest: records are written
+through the VFS into the guest page cache (syscall + copy + page
+bookkeeping costs); once the cache fills, writeback streams dirty data to
+virtio-blk in batches, each batch paying the full device round trip --
+bounce-buffer staging, a doorbell kick (VM exit), a blocking wait for the
+completion interrupt (another exit), and the device-side DMA.  Reads of a
+file that fits in the cache are pure memory; larger files stream from the
+device with the same per-batch costs.
+
+This reproduces the figure's shape: throughput is lower at small record
+sizes (per-record syscall overhead), and the confidential VM's overhead
+is negligible for cache-resident files but grows with file size as the
+exit-heavy device path dominates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cycles import Category
+from repro.mem.physmem import PAGE_SIZE
+
+#: Guest-side cost model (calibrated; see DESIGN.md section 5).
+FILE_COPY_PER_BYTE = 0.8  # user<->pagecache copy on a 100 MHz in-order core
+SYSCALL_CYCLES = 6_000  # read()/write() entry + VFS dispatch
+PAGE_MGMT_CYCLES = 300  # per page-cache page: radix tree + dirty tracking
+
+#: Writeback/readahead batch handed to virtio-blk.
+IO_BATCH = 32 * 1024
+
+#: Guest page cache available to one file (256 MB VM, ~half for cache).
+DEFAULT_CACHE_BYTES = 128 << 20
+
+
+@dataclasses.dataclass(frozen=True)
+class IozoneResult:
+    """One (file size, record size) cell of the IOZone matrix."""
+
+    file_bytes: int
+    record_bytes: int
+    write_cycles: int
+    read_cycles: int
+
+    def throughput_kb_s(self, op: str, clock_hz: int) -> float:
+        """KB/s for 'write' or 'read' at the given clock rate."""
+        cycles = self.write_cycles if op == "write" else self.read_cycles
+        seconds = cycles / clock_hz
+        return (self.file_bytes / 1024) / seconds if seconds else 0.0
+
+
+def _charge_record(ctx, record: int) -> None:
+    """Guest-side cost of moving one record through the VFS."""
+    pages = -(-record // PAGE_SIZE)
+    ctx.compute(SYSCALL_CYCLES + PAGE_MGMT_CYCLES * pages)
+    ctx.ledger.charge(Category.COPY, int(record * FILE_COPY_PER_BYTE))
+
+
+def iozone_workload(file_bytes: int, record_bytes: int, cache_bytes: int = DEFAULT_CACHE_BYTES):
+    """Build the guest workload for one IOZone cell.
+
+    Returns sequential-write then sequential-read cycle counts (the
+    read follows the write on the same file, as IOZone's default pass
+    order does).
+    """
+
+    def workload(ctx):
+        blk = ctx.blk_driver()
+        ledger = ctx.ledger
+        # A small hot buffer the record copies run through; its TLB entries
+        # are what world-switch flushes invalidate on the guest side.
+        buf_base = ctx.session.layout.dram_base + (96 << 20)
+        buf_pages = [buf_base + i * PAGE_SIZE for i in range(32)]
+        for page in buf_pages:
+            ctx.touch(page)
+
+        # ---- sequential write ----
+        start = ledger.total
+        cached = 0  # bytes resident in the page cache
+        dirty = 0
+        disk_sector = 0
+        offset = 0
+        record_index = 0
+        while offset < file_bytes:
+            record = min(record_bytes, file_bytes - offset)
+            _charge_record(ctx, record)
+            ctx.touch(buf_pages[record_index % len(buf_pages)])
+            cached += record
+            dirty += record
+            # Page cache full: writeback streams dirty data to the device.
+            while cached > cache_bytes and dirty > 0:
+                batch = min(IO_BATCH, dirty)
+                blk.write(disk_sector, batch)
+                disk_sector += batch // 512
+                dirty -= batch
+                cached -= batch
+            offset += record
+            record_index += 1
+        write_cycles = ledger.total - start
+
+        # Untimed sync so the read phase has the file on "disk" (IOZone
+        # without -e excludes the final flush from the write timing; the
+        # kernel performs it in the background before the read pass).
+        sync_start = ledger.total
+        while dirty > 0:
+            batch = min(IO_BATCH, dirty)
+            blk.write(disk_sector, batch)
+            disk_sector += batch // 512
+            dirty -= batch
+        sync_cycles = ledger.total - sync_start
+
+        # ---- sequential read ----
+        from_device = file_bytes > cache_bytes
+        start = ledger.total
+        offset = 0
+        pending_from_device = 0
+        disk_sector = 0
+        record_index = 0
+        while offset < file_bytes:
+            record = min(record_bytes, file_bytes - offset)
+            if from_device:
+                # Readahead fills the cache in device batches.
+                while pending_from_device < record:
+                    batch = min(IO_BATCH, file_bytes - offset - pending_from_device)
+                    blk.read(disk_sector, batch)
+                    disk_sector += batch // 512
+                    pending_from_device += batch
+                pending_from_device -= record
+            _charge_record(ctx, record)
+            ctx.touch(buf_pages[record_index % len(buf_pages)])
+            offset += record
+            record_index += 1
+        read_cycles = ledger.total - start
+
+        return {
+            "write_cycles": write_cycles,
+            "read_cycles": read_cycles,
+            "sync_cycles": sync_cycles,
+        }
+
+    return workload
+
+
+def iozone_full_workload(file_bytes: int, record_bytes: int, cache_bytes: int = DEFAULT_CACHE_BYTES):
+    """The full IOZone pass set: write/rewrite/read/reread/random r+w.
+
+    Beyond Fig. 4's sequential write/read, real IOZone also reports
+    rewrite, reread and random passes; this workload models all six:
+
+    - **rewrite** re-dirties the (now cached, for small files) file, so
+      large files pay writeback again while small ones stay in memory;
+    - **reread** after read is all cache hits for small files and a full
+      device stream again for large ones (sequential LRU thrash);
+    - **random read** loses readahead batching: every record beyond the
+      cache is its own device round trip;
+    - **random write** dirties scattered pages, so writeback degrades to
+      record-sized device requests.
+
+    Offsets for the random passes come from a deterministic LCG (the
+    simulation must be reproducible).
+    """
+
+    def workload(ctx):
+        blk = ctx.blk_driver()
+        ledger = ctx.ledger
+        records = max(1, file_bytes // record_bytes)
+        cached_file = file_bytes <= cache_bytes
+        buf_base = ctx.session.layout.dram_base + (96 << 20)
+        buf_pages = [buf_base + i * PAGE_SIZE for i in range(32)]
+        for page in buf_pages:
+            ctx.touch(page)
+
+        results = {}
+        lcg_state = 0x5EED
+
+        def lcg():
+            nonlocal lcg_state
+            lcg_state = (lcg_state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            return lcg_state
+
+        def sequential_pass(op, dirties):
+            start = ledger.total
+            dirty = 0
+            readahead = 0
+            sector = 0
+            for index in range(records):
+                if not dirties and not cached_file:
+                    # Readahead: one batched device read serves several
+                    # records (the batching random access loses).
+                    while readahead < record_bytes:
+                        blk.read(sector, IO_BATCH)
+                        sector += IO_BATCH // 512
+                        readahead += IO_BATCH
+                    readahead -= record_bytes
+                _charge_record(ctx, record_bytes)
+                ctx.touch(buf_pages[index % len(buf_pages)])
+                if dirties:
+                    dirty += record_bytes
+                    while dirty >= IO_BATCH and not cached_file:
+                        blk.write(sector, IO_BATCH)
+                        sector += IO_BATCH // 512
+                        dirty -= IO_BATCH
+            results[op] = ledger.total - start
+
+        def random_pass(op, dirties):
+            start = ledger.total
+            for index in range(records):
+                offset_record = lcg() % records
+                sector = offset_record * record_bytes // 512
+                _charge_record(ctx, record_bytes)
+                ctx.touch(buf_pages[index % len(buf_pages)])
+                if not cached_file:
+                    # No readahead/batching benefit at random offsets.
+                    if dirties:
+                        blk.write(sector, record_bytes)
+                    else:
+                        blk.read(sector, record_bytes)
+            results[op] = ledger.total - start
+
+        sequential_pass("write", dirties=True)
+        sequential_pass("rewrite", dirties=True)
+        sequential_pass("read", dirties=False)
+        sequential_pass("reread", dirties=False)
+        random_pass("random_read", dirties=False)
+        random_pass("random_write", dirties=True)
+        return results
+
+    return workload
+
+
+def iozone_run(machine, session, file_bytes: int, record_bytes: int,
+               cache_bytes: int = DEFAULT_CACHE_BYTES) -> IozoneResult:
+    """Run one IOZone cell on ``session`` (needs virtio-blk attached)."""
+    result = machine.run(
+        session, iozone_workload(file_bytes, record_bytes, cache_bytes)
+    )
+    inner = result["workload_result"]
+    return IozoneResult(
+        file_bytes=file_bytes,
+        record_bytes=record_bytes,
+        write_cycles=inner["write_cycles"],
+        read_cycles=inner["read_cycles"],
+    )

@@ -1,0 +1,45 @@
+"""Workload profiles: the calibrated event mixes of the RV8 suite.
+
+``total_cycles`` is the paper's measured normal-VM runtime (Table I,
+baseline column, in cycles).  ``ws_pages`` is the hot working set the
+program cycles through -- the pages whose translations must be re-walked
+after every world-switch TLB flush, which is the dominant source of the
+confidential VM's CPU-bound overhead.  Values are calibrated so the
+emergent overheads land near Table I; they are plausible for the
+programs (aes/sha512 stream over large buffers, primes/miniz have small
+hot loops against big cold regions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuWorkloadProfile:
+    """Event mix of one CPU-bound guest program."""
+
+    name: str
+    #: Normal-VM runtime on the paper's platform, in cycles.
+    total_cycles: int
+    #: Hot working-set pages re-touched continuously.
+    ws_pages: int
+    #: Cycles of pure compute per loop iteration.
+    iter_cycles: int = 100_000
+    #: Hot pages touched per iteration (the loop strides its set).
+    touch_per_iter: int = 16
+    #: MMIO accesses (console writes) per 10^9 cycles.
+    mmio_per_1e9: int = 40
+
+
+#: The RV8 benchmark suite (paper Table I).
+RV8_PROFILES = {
+    "aes": CpuWorkloadProfile("aes", total_cycles=6_312_000_000, ws_pages=132),
+    "bigint": CpuWorkloadProfile("bigint", total_cycles=8_965_000_000, ws_pages=120),
+    "dhrystone": CpuWorkloadProfile("dhrystone", total_cycles=4_144_000_000, ws_pages=129),
+    "miniz": CpuWorkloadProfile("miniz", total_cycles=25_412_000_000, ws_pages=76),
+    "norx": CpuWorkloadProfile("norx", total_cycles=3_905_000_000, ws_pages=123),
+    "primes": CpuWorkloadProfile("primes", total_cycles=19_002_000_000, ws_pages=70),
+    "qsort": CpuWorkloadProfile("qsort", total_cycles=2_148_000_000, ws_pages=115),
+    "sha512": CpuWorkloadProfile("sha512", total_cycles=3_947_000_000, ws_pages=131),
+}

@@ -1,0 +1,40 @@
+"""Shared fixtures for the ZION reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.cycles import DEFAULT_COSTS, CycleLedger
+
+
+@pytest.fixture
+def ledger():
+    return CycleLedger()
+
+
+@pytest.fixture
+def costs():
+    return DEFAULT_COSTS
+
+
+@pytest.fixture
+def machine():
+    """A default machine (paper platform, shared vCPU, short path)."""
+    return Machine(MachineConfig())
+
+
+@pytest.fixture
+def small_machine():
+    """A machine with a small pool so stage-3 expansion is easy to reach."""
+    return Machine(MachineConfig(initial_pool_bytes=2 << 20))
+
+
+@pytest.fixture
+def cvm_session(machine):
+    return machine.launch_confidential_vm(image=b"test-guest-image" * 64)
+
+
+@pytest.fixture
+def normal_session(machine):
+    return machine.launch_normal_vm("test-vm")

@@ -1,0 +1,50 @@
+"""Cost-table sanity and derived helpers."""
+
+import dataclasses
+
+from repro.cycles import CycleCosts, DEFAULT_COSTS
+
+
+def test_all_costs_non_negative():
+    for field in dataclasses.fields(CycleCosts):
+        value = getattr(DEFAULT_COSTS, field.name)
+        assert value >= 0, field.name
+
+
+def test_gpr_file_save():
+    assert DEFAULT_COSTS.gpr_file_save == 31 * DEFAULT_COSTS.gpr_save
+
+
+def test_csr_swap():
+    assert DEFAULT_COSTS.csr_swap == DEFAULT_COSTS.csr_read + DEFAULT_COSTS.csr_write
+
+
+def test_copy_bytes_scales_linearly():
+    assert DEFAULT_COSTS.copy_bytes(0) == 0
+    assert DEFAULT_COSTS.copy_bytes(1000) == int(1000 * DEFAULT_COSTS.copy_per_byte)
+
+
+def test_zero_cheaper_than_copy():
+    assert DEFAULT_COSTS.zero_bytes(4096) < DEFAULT_COSTS.copy_bytes(4096)
+
+
+def test_costs_frozen_but_replaceable():
+    """Ablations use dataclasses.replace; the base table stays immutable."""
+    import pytest
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_COSTS.trap_to_m = 1
+    variant = dataclasses.replace(DEFAULT_COSTS, trap_to_m=999)
+    assert variant.trap_to_m == 999
+    assert DEFAULT_COSTS.trap_to_m != 999
+
+
+def test_relative_ordering_matches_hardware_intuition():
+    c = DEFAULT_COSTS
+    # A trap costs more than a CSR access; a TLB flush more than a trap.
+    assert c.trap_to_m > c.csr_swap
+    assert c.tlb_flush_gvma > c.trap_to_m
+    # Delegated guest traps are cheaper than M-mode traps.
+    assert c.trap_to_vs < c.trap_to_m
+    # The KVM gup path dwarfs the SM's fault fixed cost difference.
+    assert c.kvm_fault_fixed > c.sm_fault_fixed

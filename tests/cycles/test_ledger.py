@@ -1,0 +1,65 @@
+"""Cycle ledger semantics."""
+
+import pytest
+
+from repro.cycles import Category, CycleLedger
+
+
+def test_charges_accumulate():
+    ledger = CycleLedger()
+    ledger.charge(Category.COMPUTE, 100)
+    ledger.charge(Category.TRAP, 50)
+    ledger.charge(Category.COMPUTE, 25)
+    assert ledger.total == 175
+    assert ledger.by_category()[Category.COMPUTE] == 125
+    assert ledger.by_category()[Category.TRAP] == 50
+
+
+def test_float_charges_floored_to_int():
+    ledger = CycleLedger()
+    ledger.charge(Category.COPY, 10.9)
+    assert ledger.total == 10
+
+
+def test_negative_charge_rejected():
+    ledger = CycleLedger()
+    with pytest.raises(ValueError):
+        ledger.charge(Category.COMPUTE, -1)
+
+
+def test_zero_charge_allowed():
+    ledger = CycleLedger()
+    ledger.charge(Category.COMPUTE, 0)
+    assert ledger.total == 0
+
+
+def test_by_category_is_snapshot():
+    ledger = CycleLedger()
+    ledger.charge(Category.COMPUTE, 1)
+    snap = ledger.by_category()
+    ledger.charge(Category.COMPUTE, 1)
+    assert snap[Category.COMPUTE] == 1
+
+
+def test_span_measures_window():
+    ledger = CycleLedger()
+    ledger.charge(Category.COMPUTE, 100)
+    with ledger.span() as span:
+        ledger.charge(Category.TRAP, 30)
+        ledger.charge(Category.COMPUTE, 20)
+    assert span.cycles == 50
+    assert span.breakdown == {Category.TRAP: 30, Category.COMPUTE: 20}
+    # Charges outside the span don't leak in.
+    ledger.charge(Category.TRAP, 5)
+    assert span.cycles == 50
+
+
+def test_nested_spans():
+    ledger = CycleLedger()
+    with ledger.span() as outer:
+        ledger.charge(Category.COMPUTE, 10)
+        with ledger.span() as inner:
+            ledger.charge(Category.TRAP, 5)
+        ledger.charge(Category.COMPUTE, 10)
+    assert inner.cycles == 5
+    assert outer.cycles == 25

@@ -1,0 +1,81 @@
+"""SWIOTLB bounce-buffer allocator."""
+
+import pytest
+
+from repro.cycles import Category, CycleLedger, DEFAULT_COSTS
+from repro.errors import MemoryError_
+from repro.guest.swiotlb import MAX_MAPPING, Swiotlb
+
+BASE = 1 << 38
+
+
+@pytest.fixture
+def ledger():
+    return CycleLedger()
+
+
+@pytest.fixture
+def swiotlb(ledger):
+    return Swiotlb(BASE, 64 * 1024, ledger, DEFAULT_COSTS)  # 32 slots
+
+
+def test_map_returns_in_window(swiotlb):
+    gpa = swiotlb.map_single(4096)
+    assert BASE <= gpa < BASE + 64 * 1024
+
+
+def test_slots_accounting(swiotlb):
+    assert swiotlb.free_slots == 32
+    swiotlb.map_single(4096)  # 2 slots
+    assert swiotlb.free_slots == 30
+
+
+def test_unmap_returns_slots(swiotlb):
+    gpa = swiotlb.map_single(6000)
+    swiotlb.unmap_single(gpa)
+    assert swiotlb.free_slots == 32
+
+
+def test_mappings_do_not_overlap(swiotlb):
+    a = swiotlb.map_single(4096)
+    b = swiotlb.map_single(4096)
+    assert abs(a - b) >= 4096
+
+
+def test_mapping_is_contiguous_slots(swiotlb):
+    """A 3-slot mapping occupies a contiguous GPA run."""
+    gpa = swiotlb.map_single(3 * 2048)
+    # Overlapping single-slot mappings must avoid the whole run.
+    others = [swiotlb.map_single(2048) for _ in range(29)]
+    for other in others:
+        assert not gpa <= other < gpa + 3 * 2048
+
+
+def test_exhaustion(swiotlb):
+    for _ in range(32):
+        swiotlb.map_single(2048)
+    with pytest.raises(MemoryError_):
+        swiotlb.map_single(2048)
+
+
+def test_max_mapping_enforced(swiotlb):
+    with pytest.raises(MemoryError_):
+        swiotlb.map_single(MAX_MAPPING + 1)
+
+
+def test_unmap_unmapped_rejected(swiotlb):
+    with pytest.raises(MemoryError_):
+        swiotlb.unmap_single(BASE)
+
+
+def test_reuse_after_unmap(swiotlb):
+    first = [swiotlb.map_single(2048) for _ in range(32)]
+    for gpa in first:
+        swiotlb.unmap_single(gpa)
+    again = swiotlb.map_single(16 * 1024)
+    assert BASE <= again < BASE + 64 * 1024
+
+
+def test_bounce_charges_copy(swiotlb, ledger):
+    swiotlb.bounce(10_000)
+    assert ledger.by_category()[Category.COPY] == DEFAULT_COSTS.copy_bytes(10_000)

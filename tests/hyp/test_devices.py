@@ -1,0 +1,42 @@
+"""MMIO device registry and the console device."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hyp.devices import ConsoleDevice, MmioDevice, MmioRegistry
+
+
+def test_console_collects_output():
+    console = ConsoleDevice(0x1000_0000)
+    for byte in b"hi!":
+        console.mmio_store(ConsoleDevice.DATA, byte, 1)
+    assert bytes(console.output) == b"hi!"
+
+
+def test_console_status_always_ready():
+    console = ConsoleDevice(0x1000_0000)
+    assert console.mmio_load(ConsoleDevice.STATUS, 4) == 1
+
+
+def test_registry_address_decode():
+    registry = MmioRegistry()
+    a = registry.add(MmioDevice("a", 0x1000_0000))
+    b = registry.add(MmioDevice("b", 0x1000_1000))
+    assert registry.find(0x1000_0800) is a
+    assert registry.find(0x1000_1000) is b
+    assert registry.find(0x1000_2000) is None
+
+
+def test_registry_rejects_overlap():
+    registry = MmioRegistry()
+    registry.add(MmioDevice("a", 0x1000_0000, 0x2000))
+    with pytest.raises(ConfigurationError):
+        registry.add(MmioDevice("b", 0x1000_1000))
+
+
+def test_claims_boundaries():
+    device = MmioDevice("d", 0x1000_0000, 0x1000)
+    assert device.claims(0x1000_0000)
+    assert device.claims(0x1000_0FFF)
+    assert not device.claims(0x1000_1000)
+    assert not device.claims(0x0FFF_FFFF)

@@ -1,0 +1,197 @@
+"""Virtio devices: queues, DMA checking, block and net semantics."""
+
+import pytest
+
+from repro.cycles import Category, CycleLedger, DEFAULT_COSTS
+from repro.errors import TrapRaised
+from repro.hyp.virtio import (
+    Descriptor,
+    VirtioBlockDevice,
+    VirtioNetDevice,
+    Virtqueue,
+    payload_len,
+)
+from repro.isa.iopmp import IopmpEntry, IopmpUnit
+from repro.mem.physmem import MemoryBus, PhysicalMemory
+
+BASE = 0x8000_0000
+BUF = BASE + 0x10000
+
+
+@pytest.fixture
+def env():
+    dram = PhysicalMemory(BASE, 4 << 20)
+    iopmp = IopmpUnit()
+    iopmp.add_entry(IopmpEntry(base=BASE, size=4 << 20, readable=True, writable=True))
+    bus = MemoryBus(dram, iopmp)
+    ledger = CycleLedger()
+    return dram, bus, ledger
+
+
+def _identity(gpa):
+    return gpa
+
+
+class TestPayloads:
+    def test_payload_len(self):
+        assert payload_len(b"abc") == 3
+        assert payload_len(bytearray(5)) == 5
+        assert payload_len(4096) == 4096
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(TypeError):
+            payload_len(-1)
+        with pytest.raises(TypeError):
+            payload_len("text")
+
+
+class TestVirtqueue:
+    def test_post_and_overflow(self):
+        q = Virtqueue(ring_gpa=BUF, size=2)
+        q.post(Descriptor(gpa=BUF, length=8))
+        q.post(Descriptor(gpa=BUF, length=8))
+        with pytest.raises(RuntimeError):
+            q.post(Descriptor(gpa=BUF, length=8))
+
+    def test_pop_used_empty(self):
+        assert Virtqueue(ring_gpa=BUF).pop_used() is None
+
+
+class TestVirtioBlock:
+    @pytest.fixture
+    def blk(self, env):
+        dram, bus, ledger = env
+        device = VirtioBlockDevice(0x1000_1000, 1, bus, ledger, DEFAULT_COSTS)
+        device.dma_translate = _identity
+        queue = Virtqueue(ring_gpa=BUF)
+        device.attach_queue(0, queue)
+        return device, queue, dram, ledger
+
+    def test_write_then_read_roundtrip(self, blk):
+        device, queue, dram, _ = blk
+        dram.write(BUF, b"disk-data" + bytes(503))
+        queue.post(Descriptor(gpa=BUF, length=512, payload=dram.read(BUF, 512),
+                              header={"type": "write", "sector": 4}))
+        device.process_queue(0)
+        assert queue.pop_used() is not None
+        assert device.writes == 1
+        queue.post(Descriptor(gpa=BUF + 0x1000, length=512, device_writes=True,
+                              header={"type": "read", "sector": 4}))
+        device.process_queue(0)
+        done = queue.pop_used()
+        assert done.payload[:9] == b"disk-data"
+        assert dram.read(BUF + 0x1000, 9) == b"disk-data"
+
+    def test_symbolic_payloads_take_same_path(self, blk):
+        device, queue, _, ledger = blk
+        queue.post(Descriptor(gpa=BUF, length=8192, payload=8192,
+                              header={"type": "write", "sector": 0}))
+        device.process_queue(0)
+        queue.pop_used()
+        queue.post(Descriptor(gpa=BUF, length=8192, device_writes=True,
+                              header={"type": "read", "sector": 0}))
+        device.process_queue(0)
+        done = queue.pop_used()
+        assert payload_len(done.payload) == 8192
+        assert ledger.by_category()[Category.COPY] >= 2 * DEFAULT_COSTS.copy_bytes(8192)
+
+    def test_read_of_unwritten_sector_is_zeros(self, blk):
+        device, queue, _, _ = blk
+        queue.post(Descriptor(gpa=BUF, length=512, device_writes=True,
+                              header={"type": "read", "sector": 1000}))
+        device.process_queue(0)
+        assert queue.pop_used().payload == bytes(512)
+
+    def test_beyond_capacity_rejected(self, blk):
+        device, queue, _, _ = blk
+        queue.post(Descriptor(gpa=BUF, length=512,  payload=512,
+                              header={"type": "write", "sector": device.capacity_sectors}))
+        with pytest.raises(ValueError):
+            device.process_queue(0)
+
+    def test_completion_raises_interrupt(self, blk):
+        device, queue, _, _ = blk
+        fired = []
+        device.irq_sink = fired.append
+        queue.post(Descriptor(gpa=BUF, length=512, payload=512,
+                              header={"type": "write", "sector": 0}))
+        device.process_queue(0)
+        assert fired
+        assert device.interrupt_status & 1
+        device.mmio_store(device.INTERRUPT_ACK, 1, 4)
+        assert not device.interrupt_status
+
+    def test_dma_blocked_by_iopmp(self, env):
+        dram, bus, ledger = env
+        bus.iopmp.insert_entry(0, IopmpEntry(base=BUF, size=0x1000))  # deny
+        device = VirtioBlockDevice(0x1000_1000, 1, bus, ledger, DEFAULT_COSTS)
+        device.dma_translate = _identity
+        queue = Virtqueue(ring_gpa=BUF)
+        device.attach_queue(0, queue)
+        queue.post(Descriptor(gpa=BUF, length=512, payload=512,
+                              header={"type": "write", "sector": 0}))
+        with pytest.raises(TrapRaised):
+            device.process_queue(0)
+
+
+class TestVirtioNet:
+    @pytest.fixture
+    def net(self, env):
+        dram, bus, ledger = env
+        device = VirtioNetDevice(0x1000_2000, 2, bus, ledger, DEFAULT_COSTS)
+        device.dma_translate = _identity
+        tx = Virtqueue(ring_gpa=BUF)
+        rx = Virtqueue(ring_gpa=BUF + 0x1000)
+        device.attach_queue(device.TX_QUEUE, tx)
+        device.attach_queue(device.RX_QUEUE, rx)
+        return device, tx, rx, dram
+
+    def test_tx_reaches_host_handler(self, net):
+        device, tx, rx, dram = net
+        seen = []
+        device.host_handler = lambda frame, header: seen.append((frame, header)) or []
+        dram.write(BUF + 0x2000, b"ping")
+        tx.post(Descriptor(gpa=BUF + 0x2000, length=4, payload=b"ping",
+                           header={"proto": "test"}))
+        device.process_queue(device.TX_QUEUE)
+        assert seen == [(b"ping", {"proto": "test"})]
+        assert device.tx_frames == 1
+
+    def test_host_reply_lands_in_rx_buffer(self, net):
+        device, tx, rx, dram = net
+        device.host_handler = lambda frame, header: [b"pong:" + frame]
+        rx.post(Descriptor(gpa=BUF + 0x3000, length=2048, device_writes=True))
+        tx.post(Descriptor(gpa=BUF + 0x2000, length=4, payload=b"ping"))
+        device.process_queue(device.TX_QUEUE)
+        done = rx.pop_used()
+        assert done.payload == b"pong:ping"
+        assert dram.read(BUF + 0x3000, 9) == b"pong:ping"
+
+    def test_host_deliver_without_tx(self, net):
+        device, tx, rx, _ = net
+        rx.post(Descriptor(gpa=BUF + 0x3000, length=2048, device_writes=True))
+        device.host_deliver(b"unsolicited")
+        assert rx.pop_used().payload == b"unsolicited"
+        assert device.rx_frames == 1
+
+    def test_backlog_waits_for_buffers(self, net):
+        device, tx, rx, _ = net
+        device.host_deliver(b"queued")
+        assert device.backlog == 1
+        rx.post(Descriptor(gpa=BUF + 0x3000, length=2048, device_writes=True))
+        device.process_queue(device.RX_QUEUE)
+        assert device.backlog == 0
+        assert rx.pop_used().payload == b"queued"
+
+    def test_oversized_rx_frame_rejected(self, net):
+        device, tx, rx, _ = net
+        rx.post(Descriptor(gpa=BUF + 0x3000, length=16, device_writes=True))
+        with pytest.raises(ValueError):
+            device.host_deliver(b"x" * 64)
+
+    def test_doorbell_mmio_triggers_processing(self, net):
+        device, tx, rx, _ = net
+        device.host_handler = lambda frame, header: []
+        tx.post(Descriptor(gpa=BUF + 0x2000, length=4, payload=b"ping"))
+        device.mmio_store(device.QUEUE_NOTIFY, device.TX_QUEUE, 4)
+        assert device.tx_frames == 1

@@ -1,0 +1,33 @@
+"""VM records: NormalVm and the host's CVM handle."""
+
+from repro.hyp.vm import CvmHostHandle, NormalVm, VmKind
+from repro.sm.cvm import GpaLayout
+
+
+def test_normal_vm_defaults():
+    vm = NormalVm("web")
+    assert vm.kind is VmKind.NORMAL
+    assert vm.hgatp_root is None
+    assert vm.fault_count == 0
+    assert vm.layout.dram_base == 0x8000_0000
+
+
+def test_vmids_unique_across_normal_vms():
+    vmids = {NormalVm(f"vm{i}").vmid for i in range(8)}
+    assert len(vmids) == 8
+
+
+def test_custom_layout_respected():
+    layout = GpaLayout(dram_size=64 << 20)
+    vm = NormalVm("small", layout)
+    assert vm.layout.dram_size == 64 << 20
+
+
+def test_cvm_handle_starts_empty():
+    handle = CvmHostHandle(7, GpaLayout())
+    assert handle.kind is VmKind.CONFIDENTIAL
+    assert handle.cvm_id == 7
+    assert handle.shared_vcpu_pages == {}
+    assert handle.shared_subtrees == {}
+    assert handle.shared_window_base is None
+    assert handle.shared_window_size == 0

@@ -1,0 +1,123 @@
+"""Integration: host misbehaviour injected mid-flow.
+
+Beyond targeted attacks (tests/security), these scenarios check that the
+stack degrades safely when the untrusted side behaves *badly* rather
+than maliciously: lying host-work pollers, devices that drop work,
+expansion that keeps being needed, hostile device backends.
+"""
+
+import pytest
+
+from repro import Machine, MachineConfig, SecurityViolation
+from repro.mem.physmem import PAGE_SIZE
+from repro.sm.alloc import AllocStage
+from repro.workloads.memstress import sequential_write_stress
+
+
+class TestHostWorkMisbehaviour:
+    def test_lying_host_work_does_not_wedge_wfi(self, machine):
+        """host_work claims progress but never delivers; the guest's own
+        retry logic (not the SM) must bound the loop."""
+        session = machine.launch_confidential_vm(image=b"x")
+        machine.attach_virtio_net(session)
+        session.host_work = lambda machine_, session_: True  # lies
+
+        def workload(ctx):
+            driver = ctx.net_driver()
+            driver.post_rx_buffers(2)
+            for _ in range(5):
+                ctx.wfi()
+                ctx.deliver_pending_irqs()
+                if driver.recv() is not None:
+                    return "got frame"
+            return "gave up"
+
+        assert machine.run(session, workload)["workload_result"] == "gave up"
+
+    def test_absent_host_work_wfi_returns_false(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        result = machine.run(session, lambda ctx: ctx.wfi())
+        assert result["workload_result"] is False
+
+
+class TestRepeatedExpansion:
+    def test_many_expansions_preserve_all_data(self):
+        """A tiny pool + large working set: multiple stage-3 rounds, and
+        every page the guest wrote stays intact and correctly owned."""
+        machine = Machine(MachineConfig(initial_pool_bytes=1 << 20))
+        machine.hypervisor.expand_chunk = 2 << 20
+        session = machine.launch_confidential_vm(image=b"x")
+        pages = 1500  # ~6 MB: needs several 2 MB expansions
+
+        machine.run(session, sequential_write_stress(pages))
+        assert machine.hypervisor.pool_expansions >= 2
+        assert machine.monitor.fault_stage_counts[AllocStage.POOL_EXPANSION] >= 2
+
+        base = session.layout.dram_base + (16 << 20)
+
+        def verify(ctx):
+            for i in range(0, pages, 97):
+                if ctx.load(base + i * PAGE_SIZE) != i:
+                    return i
+            return -1
+
+        assert machine.run(session, verify)["workload_result"] == -1
+
+    def test_expansion_regions_all_pmp_covered(self):
+        machine = Machine(MachineConfig(initial_pool_bytes=1 << 20))
+        machine.hypervisor.expand_chunk = 2 << 20
+        session = machine.launch_confidential_vm(image=b"x")
+        machine.run(session, sequential_write_stress(1200))
+        from repro.isa.privilege import PrivilegeMode
+        from repro.isa.traps import AccessType
+
+        machine.hart.mode = PrivilegeMode.HS
+        for base, size in machine.monitor.pool.regions:
+            assert not machine.hart.pmp.check(base, 8, AccessType.LOAD, PrivilegeMode.HS)
+            assert not machine.iopmp.check(0, base + size - 8, 8, AccessType.STORE)
+
+
+class TestHostileDeviceBackend:
+    def test_net_handler_raising_is_contained_to_host(self, machine):
+        """A crashing QEMU device model must not corrupt the CVM: the
+        error surfaces to the embedder, and the guest state it left
+        behind is still resumable."""
+        session = machine.launch_confidential_vm(image=b"x")
+        net = machine.attach_virtio_net(session)
+
+        def exploding(frame, header):
+            raise RuntimeError("device model crashed")
+
+        net.host_handler = exploding
+
+        def workload(ctx):
+            driver = ctx.net_driver()
+            driver.post_rx_buffers(1)
+            driver.send(b"boom")
+
+        with pytest.raises(RuntimeError, match="device model crashed"):
+            machine.run(session, workload)
+        # The CVM can still be entered and run afterwards.
+        net.host_handler = lambda frame, header: []
+        result = machine.run(session, lambda ctx: ctx.compute(1000))
+        assert result["cycles"] > 0
+
+    def test_mmio_load_from_unclaimed_address_returns_zero(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        result = machine.run(session, lambda ctx: ctx.mmio_read(0x1200_0000))
+        assert result["workload_result"] == 0
+
+
+class TestGuestMisbehaviour:
+    def test_guest_access_outside_all_regions_is_fatal(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        with pytest.raises(SecurityViolation):
+            machine.run(session, lambda ctx: ctx.load(0x7000_0000))
+
+    def test_failed_run_leaves_session_recoverable(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        with pytest.raises(SecurityViolation):
+            machine.run(session, lambda ctx: ctx.load(0x7000_0000))
+        assert not session.active
+        result = machine.run(session, lambda ctx: ctx.compute(500))
+        assert result["cycles"] > 0

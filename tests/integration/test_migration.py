@@ -1,0 +1,140 @@
+"""CVM migration between machines (extension; see repro.sm.migration)."""
+
+import pytest
+
+from repro import Machine, MachineConfig, SecurityViolation
+from repro.sm.migration import derive_migration_key
+
+FLEET_SECRET = b"fleet-provisioning-secret"
+
+
+@pytest.fixture
+def key():
+    return derive_migration_key(FLEET_SECRET, b"src-nonce-0001", b"dst-nonce-0001")
+
+
+@pytest.fixture
+def source_pair(key):
+    machine = Machine(MachineConfig())
+    session = machine.launch_confidential_vm(image=b"migratable-guest" * 200)
+    return machine, session
+
+
+class TestRoundTrip:
+    def test_memory_and_registers_survive_migration(self, source_pair, key):
+        source, session = source_pair
+        base = session.layout.dram_base + (8 << 20)
+
+        def prepare(ctx):
+            ctx.write_bytes(base, b"state before migration")
+            ctx.compute(10_000)
+
+        source.run(session, prepare)
+        measurement_before = session.cvm.measurement
+        vcpu_pc = session.cvm.vcpu(0).pc
+        blob = source.export_confidential_vm(session, key)
+
+        destination = Machine(MachineConfig())
+        migrated = destination.import_confidential_vm(blob, key)
+        assert migrated.cvm.measurement == measurement_before
+        assert migrated.cvm.vcpu(0).pc == vcpu_pc
+
+        def verify(ctx):
+            return ctx.read_bytes(base, 22)
+
+        result = destination.run(migrated, verify)
+        assert result["workload_result"] == b"state before migration"
+
+    def test_source_instance_is_scrubbed(self, source_pair, key):
+        source, session = source_pair
+        base = session.layout.dram_base + (8 << 20)
+        source.run(session, lambda ctx: ctx.write_bytes(base, b"SRC-SECRET" * 100))
+        from repro.mem.pagetable import Sv39x4
+
+        class Raw:
+            def read_u64(self, addr):
+                return source.dram.read_u64(addr)
+
+        pa = Sv39x4().walk(Raw(), session.cvm.hgatp_root, base).pa
+        source.export_confidential_vm(session, key)
+        assert source.dram.read(pa, 10) == bytes(10)
+
+    def test_migrated_cvm_attests_with_original_measurement(self, source_pair, key):
+        source, session = source_pair
+        source.run(session, lambda ctx: ctx.compute(100))
+        original = session.cvm.measurement
+        blob = source.export_confidential_vm(session, key)
+        destination = Machine(MachineConfig())
+        migrated = destination.import_confidential_vm(blob, key)
+
+        report = destination.run(
+            migrated, lambda ctx: ctx.attestation_report(b"post-migration")
+        )["workload_result"]
+        assert report.measurement == original
+        assert destination.monitor.attestation.verify_report(report)
+
+    def test_running_cvm_is_suspended_for_export(self, source_pair, key):
+        source, session = source_pair
+        source.run(session, lambda ctx: ctx.compute(100))
+        blob = source.export_confidential_vm(session, key)  # no explicit suspend
+        assert isinstance(blob, bytes)
+
+
+class TestBlobSecurity:
+    def test_blob_does_not_leak_plaintext(self, source_pair, key):
+        source, session = source_pair
+        secret = b"EXTREMELY-SECRET-DATABASE-ROW"
+        base = session.layout.dram_base + (8 << 20)
+        source.run(session, lambda ctx: ctx.write_bytes(base, secret * 50))
+        blob = source.export_confidential_vm(session, key)
+        assert secret not in blob
+
+    def test_tampered_blob_rejected(self, source_pair, key):
+        source, session = source_pair
+        blob = bytearray(source.export_confidential_vm(session, key))
+        blob[len(blob) // 2] ^= 0x01
+        destination = Machine(MachineConfig())
+        with pytest.raises(SecurityViolation):
+            destination.import_confidential_vm(bytes(blob), key)
+
+    def test_wrong_key_rejected(self, source_pair, key):
+        source, session = source_pair
+        blob = source.export_confidential_vm(session, key)
+        wrong = derive_migration_key(FLEET_SECRET, b"src-nonce-0001", b"EVIL-nonce")
+        destination = Machine(MachineConfig())
+        with pytest.raises(SecurityViolation):
+            destination.import_confidential_vm(blob, wrong)
+
+    def test_truncated_blob_rejected(self, source_pair, key):
+        source, session = source_pair
+        blob = source.export_confidential_vm(session, key)
+        destination = Machine(MachineConfig())
+        with pytest.raises(SecurityViolation):
+            destination.import_confidential_vm(blob[: len(blob) // 2], key)
+        with pytest.raises(SecurityViolation):
+            destination.import_confidential_vm(b"", key)
+
+    def test_replay_to_two_destinations_both_work_but_differ(self, source_pair, key):
+        """The blob is a snapshot: replay gives two independent instances
+        (freshness/anti-replay would need a destination nonce in the key,
+        which derive_migration_key supports)."""
+        source, session = source_pair
+        base = session.layout.dram_base + (8 << 20)
+        source.run(session, lambda ctx: ctx.store(base, 42))
+        blob = source.export_confidential_vm(session, key)
+        first = Machine(MachineConfig()).import_confidential_vm(blob, key)
+        second = Machine(MachineConfig()).import_confidential_vm(blob, key)
+        assert first.cvm.measurement == second.cvm.measurement
+
+
+class TestKeyDerivation:
+    def test_same_inputs_same_key(self):
+        a = derive_migration_key(b"s", b"n1", b"n2")
+        b = derive_migration_key(b"s", b"n1", b"n2")
+        assert a == b
+
+    def test_any_input_changes_key(self):
+        base = derive_migration_key(b"s", b"n1", b"n2")
+        assert derive_migration_key(b"x", b"n1", b"n2") != base
+        assert derive_migration_key(b"s", b"nX", b"n2") != base
+        assert derive_migration_key(b"s", b"n1", b"nX") != base

@@ -1,0 +1,126 @@
+"""Guest user-mode (VU) processes: the unmodified-application claim."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SecurityViolation, TrapRaised
+from repro.isa.privilege import PrivilegeMode
+
+
+class TestUserProcesses:
+    def test_process_runs_in_vu_and_returns(self, machine, cvm_session):
+        def workload(ctx):
+            modes = {}
+
+            def app(ctx_):
+                modes["inside"] = ctx_.session.hart.mode
+                ctx_.compute(10_000)
+                return "app-result"
+
+            result = ctx.run_user_process(app)
+            modes["after"] = ctx.session.hart.mode
+            return result, modes
+
+        result, modes = machine.run(cvm_session, workload)["workload_result"]
+        assert result == "app-result"
+        assert modes["inside"] is PrivilegeMode.VU
+        assert modes["after"] is PrivilegeMode.VS
+
+    def test_user_memory_access_translates_at_vu(self, machine, cvm_session):
+        base = cvm_session.layout.dram_base + (8 << 20)
+
+        def workload(ctx):
+            def app(ctx_):
+                ctx_.store(base, 0x11)
+                return ctx_.load(base)
+
+            return ctx.run_user_process(app)
+
+        assert machine.run(cvm_session, workload)["workload_result"] == 0x11
+
+    def test_syscalls_never_leave_the_cvm(self, machine, cvm_session):
+        """100 syscalls: zero CVM exits beyond the run's own enter/halt."""
+
+        def workload(ctx):
+            def app(ctx_):
+                for _ in range(100):
+                    ctx_.syscall()
+
+            exits_before = cvm_session.cvm.exit_count
+            ctx.run_user_process(app)
+            return cvm_session.cvm.exit_count - exits_before
+
+        extra_exits = machine.run(cvm_session, workload)["workload_result"]
+        assert extra_exits == 0
+
+    def test_syscall_count_tracked(self, machine, cvm_session):
+        def workload(ctx):
+            ctx.run_user_process(lambda c: [c.syscall() for _ in range(7)])
+            return ctx.syscall_count
+
+        assert machine.run(cvm_session, workload)["workload_result"] == 7
+
+    def test_syscall_requires_user_mode(self, machine, cvm_session):
+        def workload(ctx):
+            with pytest.raises(ConfigurationError):
+                ctx.syscall()
+
+        machine.run(cvm_session, workload)
+
+    def test_process_start_requires_kernel_mode(self, machine, cvm_session):
+        def workload(ctx):
+            def app(ctx_):
+                with pytest.raises(ConfigurationError):
+                    ctx_.run_user_process(lambda c: None)
+
+            ctx.run_user_process(app)
+
+        machine.run(cvm_session, workload)
+
+    def test_broken_delegation_detected(self, machine, cvm_session):
+        """If ECALL-from-U were not VS-delegated, the syscall refuses
+        rather than silently leaking to a higher privilege."""
+
+        def workload(ctx):
+            def app(ctx_):
+                ctx_.session.hart.hedeleg = frozenset()  # sabotage
+                with pytest.raises(SecurityViolation):
+                    ctx_.syscall()
+
+            ctx.run_user_process(app)
+
+        machine.run(cvm_session, workload)
+
+    def test_vu_csr_access_denied(self, machine, cvm_session):
+        def workload(ctx):
+            def app(ctx_):
+                with pytest.raises(TrapRaised):
+                    ctx_.session.hart.csrs.read("sepc", PrivilegeMode.VU)
+
+            ctx.run_user_process(app)
+
+        machine.run(cvm_session, workload)
+
+    def test_works_in_normal_vms_too(self, machine, normal_session):
+        def workload(ctx):
+            def app(ctx_):
+                ctx_.syscall()
+                return 42
+
+            return ctx.run_user_process(app)
+
+        assert machine.run(normal_session, workload)["workload_result"] == 42
+
+    def test_process_exception_restores_kernel_mode(self, machine, cvm_session):
+        def workload(ctx):
+            class AppCrash(Exception):
+                pass
+
+            def app(ctx_):
+                raise AppCrash()
+
+            with pytest.raises(AppCrash):
+                ctx.run_user_process(app)
+            return ctx.session.hart.mode
+
+        mode = machine.run(cvm_session, workload)["workload_result"]
+        assert mode is PrivilegeMode.VS

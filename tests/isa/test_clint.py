@@ -1,0 +1,89 @@
+"""CLINT: machine timer and IPI semantics."""
+
+import pytest
+
+from repro.isa.clint import Clint
+
+
+@pytest.fixture
+def env():
+    time = [0]
+    clint = Clint(hart_count=4, time_source=lambda: time[0])
+    return time, clint
+
+
+class TestTimer:
+    def test_reset_state_no_pending(self, env):
+        time, clint = env
+        # mtimecmp resets to all-ones: never pending.
+        assert not clint.timer_pending(0)
+        time[0] = 1 << 40
+        assert not clint.timer_pending(0)
+
+    def test_pending_when_mtime_reaches_cmp(self, env):
+        time, clint = env
+        clint.write_mtimecmp(0, 1000)
+        time[0] = 999
+        assert not clint.timer_pending(0)
+        time[0] = 1000
+        assert clint.timer_pending(0)  # >= comparison per spec
+        time[0] = 5000
+        assert clint.timer_pending(0)
+
+    def test_rearm_clears_pending(self, env):
+        time, clint = env
+        clint.write_mtimecmp(0, 100)
+        time[0] = 200
+        assert clint.timer_pending(0)
+        clint.arm_after(0, 1000)
+        assert not clint.timer_pending(0)
+        assert clint.read_mtimecmp(0) == 1200
+
+    def test_per_hart_independence(self, env):
+        time, clint = env
+        clint.write_mtimecmp(1, 50)
+        time[0] = 60
+        assert clint.timer_pending(1)
+        assert not clint.timer_pending(0)
+        assert not clint.timer_pending(3)
+
+    def test_mtime_tracks_source(self, env):
+        time, clint = env
+        time[0] = 12345
+        assert clint.mtime == 12345
+
+    def test_wraparound_mask(self, env):
+        time, clint = env
+        time[0] = (1 << 64) + 5  # ledger beyond 64 bits
+        assert clint.mtime == 5
+
+
+class TestIpi:
+    def test_send_and_clear(self, env):
+        _, clint = env
+        assert not clint.ipi_pending(2)
+        clint.send_ipi(2)
+        assert clint.ipi_pending(2)
+        assert not clint.ipi_pending(1)
+        clint.clear_ipi(2)
+        assert not clint.ipi_pending(2)
+
+    def test_broadcast_excludes_sender(self, env):
+        _, clint = env
+        clint.broadcast_ipi(exclude=1)
+        assert clint.ipi_pending(0)
+        assert not clint.ipi_pending(1)
+        assert clint.ipi_pending(2)
+        assert clint.ipi_pending(3)
+
+
+class TestMachineIntegration:
+    def test_machine_tick_driven_by_clint(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        before = machine.clint.read_mtimecmp(0)
+        machine.run(session, lambda ctx: ctx.compute(2_500_000))
+        # The tick fired and was re-armed past the current time.
+        assert machine.clint.read_mtimecmp(0) != before
+        assert machine.clint.read_mtimecmp(0) > machine.ledger.total - \
+            machine.config.timer_tick_cycles
+        assert session.cvm.exit_reasons.get("timer", 0) >= 2

@@ -1,0 +1,32 @@
+"""Privilege-mode model tests."""
+
+from repro.isa.privilege import PrivilegeMode
+
+
+def test_machine_mode_is_highest():
+    assert PrivilegeMode.M.level > PrivilegeMode.HS.level > PrivilegeMode.U.level
+
+
+def test_virtual_modes_flagged():
+    assert PrivilegeMode.VS.virtualized
+    assert PrivilegeMode.VU.virtualized
+    assert not PrivilegeMode.M.virtualized
+    assert not PrivilegeMode.HS.virtualized
+    assert not PrivilegeMode.U.virtualized
+
+
+def test_vs_and_hs_share_privilege_level():
+    assert PrivilegeMode.VS.level == PrivilegeMode.HS.level == 1
+
+
+def test_vu_and_u_share_privilege_level():
+    assert PrivilegeMode.VU.level == PrivilegeMode.U.level == 0
+
+
+def test_is_guest_alias():
+    for mode in PrivilegeMode:
+        assert mode.is_guest == mode.virtualized
+
+
+def test_modes_are_distinct():
+    assert len({mode.value for mode in PrivilegeMode}) == 5

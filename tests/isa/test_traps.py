@@ -1,0 +1,140 @@
+"""Trap cause encodings and the delegation routing algorithm."""
+
+import pytest
+
+from repro.isa.privilege import PrivilegeMode
+from repro.isa.traps import (
+    AccessType,
+    ExceptionCause,
+    InterruptCause,
+    access_fault_for,
+    guest_page_fault_for,
+    page_fault_for,
+    route_exception,
+    route_interrupt,
+)
+
+E = ExceptionCause
+I = InterruptCause
+NONE = frozenset()
+
+
+class TestCauseEncodings:
+    def test_spec_exception_codes(self):
+        assert E.ECALL_FROM_U == 8
+        assert E.ECALL_FROM_VS == 10
+        assert E.STORE_PAGE_FAULT == 15
+        assert E.LOAD_GUEST_PAGE_FAULT == 21
+        assert E.VIRTUAL_INSTRUCTION == 22
+        assert E.STORE_GUEST_PAGE_FAULT == 23
+
+    def test_spec_interrupt_codes(self):
+        assert I.VIRTUAL_SUPERVISOR_TIMER == 6
+        assert I.MACHINE_TIMER == 7
+        assert I.VIRTUAL_SUPERVISOR_EXTERNAL == 10
+
+    def test_page_fault_mapping(self):
+        assert page_fault_for(AccessType.LOAD) == E.LOAD_PAGE_FAULT
+        assert page_fault_for(AccessType.STORE) == E.STORE_PAGE_FAULT
+        assert page_fault_for(AccessType.FETCH) == E.INSTRUCTION_PAGE_FAULT
+
+    def test_guest_page_fault_mapping(self):
+        assert guest_page_fault_for(AccessType.LOAD) == E.LOAD_GUEST_PAGE_FAULT
+        assert guest_page_fault_for(AccessType.STORE) == E.STORE_GUEST_PAGE_FAULT
+        assert guest_page_fault_for(AccessType.FETCH) == E.INSTRUCTION_GUEST_PAGE_FAULT
+
+    def test_access_fault_mapping(self):
+        assert access_fault_for(AccessType.LOAD) == E.LOAD_ACCESS_FAULT
+        assert access_fault_for(AccessType.STORE) == E.STORE_ACCESS_FAULT
+        assert access_fault_for(AccessType.FETCH) == E.INSTRUCTION_ACCESS_FAULT
+
+
+class TestExceptionRouting:
+    def test_undelegated_lands_in_m(self):
+        dest = route_exception(E.LOAD_GUEST_PAGE_FAULT, PrivilegeMode.VS, NONE, NONE)
+        assert dest is PrivilegeMode.M
+
+    def test_medeleg_sends_to_hs(self):
+        medeleg = frozenset({E.LOAD_GUEST_PAGE_FAULT})
+        dest = route_exception(E.LOAD_GUEST_PAGE_FAULT, PrivilegeMode.VS, medeleg, NONE)
+        assert dest is PrivilegeMode.HS
+
+    def test_hedeleg_sends_to_vs(self):
+        causes = frozenset({E.ECALL_FROM_U})
+        dest = route_exception(E.ECALL_FROM_U, PrivilegeMode.VU, causes, causes)
+        assert dest is PrivilegeMode.VS
+
+    def test_guest_page_fault_never_reaches_vs(self):
+        causes = frozenset({E.STORE_GUEST_PAGE_FAULT})
+        dest = route_exception(E.STORE_GUEST_PAGE_FAULT, PrivilegeMode.VS, causes, causes)
+        assert dest is PrivilegeMode.HS
+
+    def test_virtual_instruction_never_reaches_vs(self):
+        causes = frozenset({E.VIRTUAL_INSTRUCTION})
+        dest = route_exception(E.VIRTUAL_INSTRUCTION, PrivilegeMode.VS, causes, causes)
+        assert dest is PrivilegeMode.HS
+
+    def test_ecall_from_vs_never_reaches_vs(self):
+        causes = frozenset({E.ECALL_FROM_VS})
+        dest = route_exception(E.ECALL_FROM_VS, PrivilegeMode.VS, causes, causes)
+        assert dest is PrivilegeMode.HS
+
+    def test_ecall_from_m_always_lands_in_m(self):
+        everything = frozenset(E)
+        dest = route_exception(E.ECALL_FROM_M, PrivilegeMode.M, everything, everything)
+        assert dest is PrivilegeMode.M
+
+    def test_trap_from_m_never_delegated(self):
+        everything = frozenset(E)
+        dest = route_exception(E.ILLEGAL_INSTRUCTION, PrivilegeMode.M, everything, everything)
+        assert dest is PrivilegeMode.M
+
+    def test_trap_from_hs_stops_at_hs(self):
+        everything = frozenset(E)
+        dest = route_exception(E.LOAD_PAGE_FAULT, PrivilegeMode.HS, everything, everything)
+        assert dest is PrivilegeMode.HS
+
+    def test_trap_from_u_stops_at_hs(self):
+        everything = frozenset(E)
+        dest = route_exception(E.ECALL_FROM_U, PrivilegeMode.U, everything, everything)
+        assert dest is PrivilegeMode.HS
+
+    @pytest.mark.parametrize("cause", [E.LOAD_PAGE_FAULT, E.ILLEGAL_INSTRUCTION, E.BREAKPOINT])
+    def test_vu_traps_fully_delegated(self, cause):
+        causes = frozenset({cause})
+        assert route_exception(cause, PrivilegeMode.VU, causes, causes) is PrivilegeMode.VS
+
+
+class TestInterruptRouting:
+    def test_machine_timer_never_delegated(self):
+        everything = frozenset(I)
+        dest = route_interrupt(I.MACHINE_TIMER, PrivilegeMode.VS, everything, everything)
+        assert dest is PrivilegeMode.M
+
+    def test_machine_external_never_delegated(self):
+        everything = frozenset(I)
+        dest = route_interrupt(I.MACHINE_EXTERNAL, PrivilegeMode.VU, everything, everything)
+        assert dest is PrivilegeMode.M
+
+    def test_vs_timer_delegated_to_guest(self):
+        everything = frozenset(I)
+        dest = route_interrupt(
+            I.VIRTUAL_SUPERVISOR_TIMER, PrivilegeMode.VS, everything, everything
+        )
+        assert dest is PrivilegeMode.VS
+
+    def test_vs_interrupt_while_in_host_goes_to_hs(self):
+        everything = frozenset(I)
+        dest = route_interrupt(
+            I.VIRTUAL_SUPERVISOR_TIMER, PrivilegeMode.HS, everything, everything
+        )
+        assert dest is PrivilegeMode.HS
+
+    def test_undelegated_supervisor_interrupt_lands_in_m(self):
+        dest = route_interrupt(I.SUPERVISOR_TIMER, PrivilegeMode.HS, NONE, NONE)
+        assert dest is PrivilegeMode.M
+
+    def test_supervisor_interrupt_delegated_to_hs(self):
+        mideleg = frozenset({I.SUPERVISOR_EXTERNAL})
+        dest = route_interrupt(I.SUPERVISOR_EXTERNAL, PrivilegeMode.U, mideleg, NONE)
+        assert dest is PrivilegeMode.HS

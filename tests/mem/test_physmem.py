@@ -1,0 +1,140 @@
+"""Physical memory and the permission-checked bus."""
+
+import pytest
+
+from repro.errors import MemoryError_, TrapRaised
+from repro.isa.hart import Hart
+from repro.isa.iopmp import IopmpEntry, IopmpUnit
+from repro.isa.pmp import PmpAddressMode, PmpEntry
+from repro.isa.privilege import PrivilegeMode
+from repro.isa.traps import ExceptionCause
+from repro.mem.physmem import PAGE_SIZE, MemoryBus, PhysicalMemory
+
+BASE = 0x8000_0000
+
+
+@pytest.fixture
+def dram():
+    return PhysicalMemory(BASE, 16 << 20)
+
+
+class TestPhysicalMemory:
+    def test_alignment_required(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0x100, 4096)
+        with pytest.raises(ValueError):
+            PhysicalMemory(0, 100)
+
+    def test_unwritten_memory_reads_zero(self, dram):
+        assert dram.read(BASE + 0x1234, 16) == bytes(16)
+
+    def test_write_read_roundtrip(self, dram):
+        dram.write(BASE + 100, b"hello world")
+        assert dram.read(BASE + 100, 11) == b"hello world"
+
+    def test_cross_page_write(self, dram):
+        addr = BASE + PAGE_SIZE - 4
+        dram.write(addr, b"abcdefgh")
+        assert dram.read(addr, 8) == b"abcdefgh"
+        assert dram.resident_pages() == 2
+
+    def test_out_of_range_rejected(self, dram):
+        with pytest.raises(MemoryError_):
+            dram.read(BASE - 8, 8)
+        with pytest.raises(MemoryError_):
+            dram.write(dram.end - 4, b"12345678")
+
+    def test_u64_roundtrip(self, dram):
+        dram.write_u64(BASE + 8, 0x1122334455667788)
+        assert dram.read_u64(BASE + 8) == 0x1122334455667788
+
+    def test_u64_alignment(self, dram):
+        with pytest.raises(MemoryError_):
+            dram.read_u64(BASE + 4)
+        with pytest.raises(MemoryError_):
+            dram.write_u64(BASE + 12, 0)
+
+    def test_zero_range_full_pages_dropped(self, dram):
+        dram.write(BASE, b"x" * PAGE_SIZE * 2)
+        assert dram.resident_pages() == 2
+        dram.zero_range(BASE, PAGE_SIZE * 2)
+        assert dram.resident_pages() == 0
+        assert dram.read(BASE, 8) == bytes(8)
+
+    def test_zero_range_partial_page(self, dram):
+        dram.write(BASE, b"x" * 64)
+        dram.zero_range(BASE + 16, 16)
+        assert dram.read(BASE, 16) == b"x" * 16
+        assert dram.read(BASE + 16, 16) == bytes(16)
+        assert dram.read(BASE + 32, 32) == b"x" * 32
+
+    def test_sparse_backing(self, dram):
+        dram.write(dram.end - PAGE_SIZE, b"z")
+        assert dram.resident_pages() == 1
+
+
+class TestMemoryBus:
+    @pytest.fixture
+    def hart(self):
+        hart = Hart(0)
+        hart.mode = PrivilegeMode.HS
+        # Background allow-all except a protected window.
+        hart.pmp.set_entry(0, PmpEntry(mode=PmpAddressMode.TOR, base=BASE + 0x100000, size=0x100000))
+        hart.pmp.set_entry(
+            15,
+            PmpEntry(
+                mode=PmpAddressMode.TOR, base=BASE, size=16 << 20,
+                readable=True, writable=True, executable=True,
+            ),
+        )
+        return hart
+
+    @pytest.fixture
+    def bus(self, dram):
+        return MemoryBus(dram)
+
+    def test_allowed_access_passes(self, bus, hart):
+        bus.cpu_write(hart, BASE + 8, b"ok")
+        assert bus.cpu_read(hart, BASE + 8, 2) == b"ok"
+
+    def test_denied_read_raises_access_fault(self, bus, hart):
+        with pytest.raises(TrapRaised) as excinfo:
+            bus.cpu_read(hart, BASE + 0x100000, 8)
+        assert excinfo.value.cause == ExceptionCause.LOAD_ACCESS_FAULT
+        assert excinfo.value.tval == BASE + 0x100000
+
+    def test_denied_write_raises_access_fault(self, bus, hart):
+        with pytest.raises(TrapRaised) as excinfo:
+            bus.cpu_write_u64(hart, BASE + 0x100008, 1)
+        assert excinfo.value.cause == ExceptionCause.STORE_ACCESS_FAULT
+
+    def test_fetch_check(self, bus, hart):
+        bus.cpu_fetch_check(hart, BASE + 0x1000)
+        with pytest.raises(TrapRaised) as excinfo:
+            bus.cpu_fetch_check(hart, BASE + 0x100000)
+        assert excinfo.value.cause == ExceptionCause.INSTRUCTION_ACCESS_FAULT
+
+    def test_m_mode_bypasses_unlocked_entries(self, bus, hart):
+        hart.mode = PrivilegeMode.M
+        bus.cpu_write(hart, BASE + 0x100000, b"m-mode")
+
+    def test_dma_respects_iopmp(self, dram):
+        iopmp = IopmpUnit()
+        iopmp.add_entry(IopmpEntry(base=BASE + 0x100000, size=0x100000))  # deny
+        iopmp.add_entry(IopmpEntry(base=BASE, size=16 << 20, readable=True, writable=True))
+        bus = MemoryBus(dram, iopmp)
+        bus.dma_write(0, BASE + 64, b"dma")
+        assert bus.dma_read(0, BASE + 64, 3) == b"dma"
+        with pytest.raises(TrapRaised) as excinfo:
+            bus.dma_write(0, BASE + 0x100000, b"attack")
+        assert excinfo.value.cause == ExceptionCause.STORE_ACCESS_FAULT
+
+    def test_dma_check_range_without_data(self, dram):
+        from repro.isa.traps import AccessType
+
+        iopmp = IopmpUnit()
+        iopmp.add_entry(IopmpEntry(base=BASE, size=1 << 20, readable=True, writable=False))
+        bus = MemoryBus(dram, iopmp)
+        bus.dma_check_range(0, BASE, 4096, AccessType.LOAD)
+        with pytest.raises(TrapRaised):
+            bus.dma_check_range(0, BASE, 4096, AccessType.STORE)

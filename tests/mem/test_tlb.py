@@ -1,0 +1,59 @@
+"""TLB model: lookup, capacity, flush scoping."""
+
+from repro.mem.tlb import Tlb
+
+
+def test_miss_then_hit():
+    tlb = Tlb()
+    assert tlb.lookup(1, 0x80000) is None
+    tlb.insert(1, 0x80000, 0x90000, 0b111)
+    assert tlb.lookup(1, 0x80000) == (0x90000, 0b111)
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_vmid_isolation():
+    tlb = Tlb()
+    tlb.insert(1, 0x80000, 0x90000, 0b111)
+    assert tlb.lookup(2, 0x80000) is None
+
+
+def test_capacity_eviction_fifo():
+    tlb = Tlb(capacity=4)
+    for i in range(5):
+        tlb.insert(1, i, i + 100, 0)
+    assert len(tlb) == 4
+    assert tlb.lookup(1, 0) is None  # oldest evicted
+    assert tlb.lookup(1, 4) is not None
+
+
+def test_flush_all():
+    tlb = Tlb()
+    tlb.insert(1, 1, 2, 0)
+    tlb.insert(2, 1, 2, 0)
+    tlb.flush_all()
+    assert len(tlb) == 0
+    assert tlb.flushes == 1
+
+
+def test_flush_vmid_scoped():
+    tlb = Tlb()
+    tlb.insert(1, 1, 2, 0)
+    tlb.insert(2, 1, 3, 0)
+    tlb.flush_vmid(1)
+    assert tlb.lookup(1, 1) is None
+    assert tlb.lookup(2, 1) == (3, 0)
+
+
+def test_flush_page():
+    tlb = Tlb()
+    tlb.insert(1, 5, 6, 0)
+    tlb.insert(1, 7, 8, 0)
+    tlb.flush_page(1, 5)
+    assert tlb.lookup(1, 5) is None
+    assert tlb.lookup(1, 7) == (8, 0)
+
+
+def test_flush_page_missing_is_noop():
+    tlb = Tlb()
+    tlb.flush_page(1, 99)  # must not raise

@@ -1,0 +1,68 @@
+"""Property-based tests: frame allocator conservation and disjointness."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryError_
+from repro.mem.frames import FrameAllocator
+from repro.mem.physmem import PAGE_SIZE
+
+BASE = 0x8000_0000
+TOTAL = 4 << 20
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=16)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=63)),
+        ),
+        max_size=64,
+    )
+)
+def test_alloc_free_conservation_and_disjointness(ops):
+    """Live allocations never overlap; free_bytes is always conserved."""
+    alloc = FrameAllocator(BASE, TOTAL)
+    live: list[tuple[int, int]] = []
+    for op, arg in ops:
+        if op == "alloc":
+            size = arg * PAGE_SIZE
+            try:
+                addr = alloc.alloc(size=size)
+            except MemoryError_:
+                continue
+            for other_addr, other_size in live:
+                assert addr + size <= other_addr or other_addr + other_size <= addr
+            assert BASE <= addr and addr + size <= BASE + TOTAL
+            live.append((addr, size))
+        elif live:
+            addr, size = live.pop(arg % len(live))
+            alloc.free(addr, size)
+        assert alloc.free_bytes() == TOTAL - sum(s for _, s in live)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=32))
+def test_free_everything_restores_full_capacity(sizes):
+    alloc = FrameAllocator(BASE, TOTAL)
+    live = []
+    for pages in sizes:
+        try:
+            live.append((alloc.alloc(size=pages * PAGE_SIZE), pages * PAGE_SIZE))
+        except MemoryError_:
+            break
+    for addr, size in live:
+        alloc.free(addr, size)
+    # Full coalescing: one max-size allocation must succeed again.
+    assert alloc.alloc(size=TOTAL) == BASE
+
+
+@settings(max_examples=40, deadline=None)
+@given(align_pow=st.integers(min_value=0, max_value=6), pre=st.integers(min_value=0, max_value=3))
+def test_alignment_always_honoured(align_pow, pre):
+    alloc = FrameAllocator(BASE, TOTAL)
+    for _ in range(pre):
+        alloc.alloc()
+    align = PAGE_SIZE << align_pow
+    addr = alloc.alloc(size=PAGE_SIZE, align=align)
+    assert addr % align == 0

@@ -1,0 +1,140 @@
+"""Property-based tests: physmem, TLB, RESP codec, SWIOTLB, measurement."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cycles import CycleLedger, DEFAULT_COSTS
+from repro.guest.swiotlb import Swiotlb
+from repro.mem.physmem import PAGE_SIZE, PhysicalMemory
+from repro.mem.tlb import Tlb
+from repro.sm.attestation import MeasurementLog
+from repro.workloads.redis import resp_decode_command, resp_encode_command
+
+BASE = 0x8000_0000
+
+
+class TestPhysmemProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 20) - 256),
+                st.binary(min_size=1, max_size=256),
+            ),
+            max_size=16,
+        ),
+        probe=st.integers(min_value=0, max_value=(1 << 20) - 64),
+    )
+    def test_last_write_wins(self, writes, probe):
+        """Memory behaves like a flat byte array under arbitrary writes."""
+        dram = PhysicalMemory(BASE, 1 << 20)
+        shadow = bytearray(1 << 20)
+        for offset, data in writes:
+            dram.write(BASE + offset, data)
+            shadow[offset : offset + len(data)] = data
+        assert dram.read(BASE + probe, 64) == bytes(shadow[probe : probe + 64])
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+           slot=st.integers(min_value=0, max_value=1000))
+    def test_u64_roundtrip(self, value, slot):
+        dram = PhysicalMemory(BASE, 1 << 20)
+        dram.write_u64(BASE + slot * 8, value)
+        assert dram.read_u64(BASE + slot * 8) == value
+
+
+class TestTlbProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        inserts=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=3),
+                      st.integers(min_value=0, max_value=100),
+                      st.integers(min_value=0, max_value=100)),
+            max_size=40,
+        )
+    )
+    def test_capacity_never_exceeded_and_lookup_agrees(self, inserts):
+        tlb = Tlb(capacity=8)
+        shadow = {}
+        for vmid, vpage, ppage in inserts:
+            tlb.insert(vmid, vpage, ppage, 0b111)
+            shadow[(vmid, vpage)] = ppage
+            assert len(tlb) <= 8
+        for (vmid, vpage), ppage in shadow.items():
+            hit = tlb.lookup(vmid, vpage)
+            if hit is not None:  # may have been evicted, never wrong
+                assert hit[0] == ppage
+
+
+class TestRespProperties:
+    command_parts = st.lists(
+        st.binary(min_size=0, max_size=32).filter(lambda b: b"\r\n" not in b),
+        min_size=1,
+        max_size=8,
+    )
+
+    @settings(max_examples=80, deadline=None)
+    @given(parts=command_parts)
+    def test_encode_decode_roundtrip(self, parts):
+        assert resp_decode_command(resp_encode_command(parts)) == parts
+
+    @settings(max_examples=40, deadline=None)
+    @given(parts=command_parts)
+    def test_encoding_is_parseable_framing(self, parts):
+        encoded = resp_encode_command(parts)
+        assert encoded.startswith(b"*%d\r\n" % len(parts))
+        assert encoded.endswith(b"\r\n")
+
+
+class TestSwiotlbProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("map"), st.integers(min_value=1, max_value=16 * 1024)),
+                st.tuples(st.just("unmap"), st.integers(min_value=0, max_value=31)),
+            ),
+            max_size=40,
+        )
+    )
+    def test_mappings_disjoint_and_slots_conserved(self, ops):
+        from repro.errors import MemoryError_
+
+        swiotlb = Swiotlb(1 << 38, 128 * 1024, CycleLedger(), DEFAULT_COSTS)
+        live = {}  # gpa -> length
+        for op in ops:
+            if op[0] == "map":
+                try:
+                    gpa = swiotlb.map_single(op[1])
+                except MemoryError_:
+                    continue
+                for other, other_len in live.items():
+                    assert gpa + op[1] <= other or other + other_len <= gpa
+                live[gpa] = op[1]
+            elif live:
+                key = sorted(live)[op[1] % len(live)]
+                swiotlb.unmap_single(key)
+                del live[key]
+        used = sum(-(-length // 2048) for length in live.values())
+        assert swiotlb.free_slots == 64 - used
+
+
+class TestMeasurementProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(st.text(max_size=8), st.binary(max_size=64)),
+            max_size=8,
+        )
+    )
+    def test_measurement_deterministic_and_injective_ish(self, entries):
+        a, b = MeasurementLog(), MeasurementLog()
+        for label, data in entries:
+            a.extend(label, data)
+            b.extend(label, data)
+        assert a.finalize() == b.finalize()
+        # Appending anything changes the digest.
+        c = MeasurementLog()
+        for label, data in entries:
+            c.extend(label, data)
+        c.extend("extra", b"x")
+        assert c.finalize() != a.finalize()

@@ -1,0 +1,95 @@
+"""Property-based tests: PMP matching and checking invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.pmp import PmpAddressMode, PmpEntry, PmpUnit
+from repro.isa.privilege import PrivilegeMode
+from repro.isa.traps import AccessType
+
+addresses = st.integers(min_value=0, max_value=(1 << 34) - 1)
+sizes = st.integers(min_value=1, max_value=1 << 16)
+access_types = st.sampled_from(list(AccessType))
+sub_m_modes = st.sampled_from(
+    [PrivilegeMode.U, PrivilegeMode.HS, PrivilegeMode.VS, PrivilegeMode.VU]
+)
+
+
+def tor(base, size, **perms):
+    return PmpEntry(mode=PmpAddressMode.TOR, base=base, size=size, **perms)
+
+
+@given(base=addresses, size=sizes, addr=addresses, access_size=sizes)
+def test_match_classification_is_consistent(base, size, addr, access_size):
+    """'full' iff contained, 'none' iff disjoint, 'partial' otherwise."""
+    entry = tor(base & ~7, max(size & ~7, 8))
+    verdict = entry.matches(addr, access_size)
+    contained = entry.base <= addr and addr + access_size <= entry.end
+    disjoint = addr + access_size <= entry.base or addr >= entry.end
+    if contained:
+        assert verdict == "full"
+    elif disjoint:
+        assert verdict == "none"
+    else:
+        assert verdict == "partial"
+
+
+@given(addr=addresses, size=sizes, access=access_types, mode=sub_m_modes)
+def test_no_entries_never_denies(addr, size, access, mode):
+    assert PmpUnit().check(addr, size, access, mode)
+
+
+@given(addr=addresses, size=sizes, access=access_types, mode=sub_m_modes,
+       base=addresses, region=sizes)
+def test_deny_entry_denies_everything_it_covers(addr, size, access, mode, base, region):
+    """A no-permission entry denies every sub-M access it fully matches."""
+    unit = PmpUnit()
+    entry = tor(base & ~7, max(region & ~7, 8))
+    unit.set_entry(0, entry)
+    if entry.matches(addr, size) == "full":
+        assert not unit.check(addr, size, access, mode)
+
+
+@given(addr=addresses, size=sizes, access=access_types, mode=sub_m_modes)
+def test_rwx_background_allows_all(addr, size, access, mode):
+    unit = PmpUnit()
+    unit.set_entry(
+        15, tor(0, 1 << 34, readable=True, writable=True, executable=True)
+    )
+    assert unit.check(addr, min(size, (1 << 34) - addr), access, mode)
+
+
+@given(addr=addresses, size=sizes, access=access_types)
+def test_m_mode_never_denied_by_unlocked_entries(addr, size, access):
+    unit = PmpUnit()
+    unit.set_entry(0, tor(0, 1 << 34))  # deny-all, unlocked
+    assert unit.check(addr, min(size, (1 << 34) - addr), access, PrivilegeMode.M)
+
+
+@given(
+    entries=st.lists(
+        st.tuples(addresses, sizes, st.booleans(), st.booleans(), st.booleans()),
+        min_size=1,
+        max_size=8,
+    ),
+    addr=addresses,
+    access=access_types,
+    mode=sub_m_modes,
+)
+def test_priority_first_full_match_decides(entries, addr, access, mode):
+    """The unit's verdict equals the first fully-matching entry's verdict."""
+    unit = PmpUnit()
+    built = []
+    for i, (base, size, r, w, x) in enumerate(entries):
+        entry = tor(base & ~7, max(size & ~7, 8), readable=r, writable=w, executable=x)
+        unit.set_entry(i, entry)
+        built.append(entry)
+    verdict = unit.check(addr, 8, access, mode)
+    for entry in built:
+        match = entry.matches(addr, 8)
+        if match == "partial":
+            assert verdict is False
+            return
+        if match == "full":
+            assert verdict == entry.permits(access)
+            return
+    assert verdict is False  # implemented entries, no match, sub-M access

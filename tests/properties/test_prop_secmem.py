@@ -1,0 +1,91 @@
+"""Property-based tests: secure pool list and allocator invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cycles import CycleLedger, DEFAULT_COSTS
+from repro.mem.physmem import PAGE_SIZE
+from repro.sm.alloc import HierarchicalAllocator, PoolExhausted
+from repro.sm.secmem import SECURE_BLOCK_SIZE, SecureMemoryPool
+
+BASE = 0x9000_0000
+
+
+def _list_is_sound(pool):
+    """Circular, doubly-linked, address-ordered, count-consistent."""
+    blocks = pool.free_list_blocks()
+    assert len(blocks) == pool.free_blocks
+    if not blocks:
+        return
+    for i, block in enumerate(blocks):
+        assert block.next.prev is block
+        assert block.prev.next is block
+        if i + 1 < len(blocks):
+            assert block.base < blocks[i + 1].base
+    assert blocks[-1].next is blocks[0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.just(("alloc",)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=31)),
+        ),
+        max_size=48,
+    )
+)
+def test_circular_list_invariants_under_churn(ops):
+    pool = SecureMemoryPool()
+    pool.register_region(BASE, 8 * SECURE_BLOCK_SIZE)
+    held = []
+    for op in ops:
+        if op[0] == "alloc":
+            block = pool.alloc_block(owner=1)
+            if block is not None:
+                held.append(block)
+        elif held:
+            pool.free_block(held.pop(op[1] % len(held)))
+        _list_is_sound(pool)
+        # Conservation: held + free == registered.
+        assert len(held) + pool.free_blocks == 8
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    vcpu_requests=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=1, max_value=40)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_hierarchical_allocator_never_double_allocates(vcpu_requests):
+    pool = SecureMemoryPool()
+    pool.register_region(BASE, 8 * SECURE_BLOCK_SIZE)
+    allocator = HierarchicalAllocator(pool, CycleLedger(), DEFAULT_COSTS)
+    seen = set()
+    for vcpu_id, count in vcpu_requests:
+        for _ in range(count):
+            try:
+                pa, _stage = allocator.alloc_page(1, vcpu_id)
+            except PoolExhausted:
+                return
+            assert pa not in seen
+            assert pa % PAGE_SIZE == 0
+            assert pool.contains(pa, PAGE_SIZE)
+            seen.add(pa)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regions=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4))
+def test_multi_region_registration_keeps_order(regions):
+    pool = SecureMemoryPool()
+    base = BASE
+    gaps = []
+    for blocks in regions:
+        pool.register_region(base, blocks * SECURE_BLOCK_SIZE)
+        gaps.append(base)
+        base += (blocks + 2) * SECURE_BLOCK_SIZE  # leave holes between regions
+    _list_is_sound(pool)
+    listed = [b.base for b in pool.free_list_blocks()]
+    assert listed == sorted(listed)

@@ -1,0 +1,112 @@
+"""Property-based security fuzzing.
+
+Hypothesis drives randomized hostile hypervisor behaviour against the
+SM's validation surfaces and checks the safety envelope: either the SM
+refuses, or the effect is within the narrow legitimate set -- never
+silent corruption of protected state.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, MachineConfig
+from repro.errors import SecurityViolation
+from repro.isa.hart import GPR_NAMES
+from repro.sm.vcpu import SHARED_VCPU_FIELDS
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@pytest.fixture(scope="module")
+def shared_machine():
+    """One machine reused across examples (fresh CVM state per example)."""
+    return Machine(MachineConfig())
+
+
+class TestCheckAfterLoadFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(reply=st.dictionaries(st.sampled_from(list(SHARED_VCPU_FIELDS)), u64, max_size=9))
+    def test_random_replies_never_corrupt_protected_state(self, shared_machine, reply):
+        """Whatever the hypervisor writes into the shared page, either the
+        SM rejects the resume, or only a0/sepc(+2|4)/hvip(VS bits) change."""
+        machine = shared_machine
+        session = machine.launch_confidential_vm(image=b"fuzz" * 100)
+        cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+        ws = machine.monitor.world_switch
+        ws.enter_cvm(machine.hart, cvm, vcpu)
+        machine.hart.write_gpr("sp", 0x8000_F000)
+        machine.hart.write_gpr("ra", 0x8000_1234)
+        ws.exit_to_normal(
+            machine.hart, cvm, vcpu,
+            {"kind": "mmio_load", "cause": 21, "htval": 0x1000_0000,
+             "htinst": 0x503, "gpr_index": 10, "gpr_value": 0},
+        )
+        before = dict(vcpu.gprs)
+        before_pc = vcpu.pc
+        shared = cvm.shared_vcpus[0]
+        for field, value in reply.items():
+            shared.hyp_write(machine.hart, field, value)
+        try:
+            ws.enter_cvm(machine.hart, cvm, vcpu)
+        except SecurityViolation:
+            # Refused: protected state must be exactly as saved.
+            assert vcpu.gprs == before
+            assert vcpu.pc == before_pc
+            return
+        # Accepted: only the architecturally-legitimate effects occurred.
+        changed = {
+            name for name in GPR_NAMES
+            if vcpu.gprs[name] != before[name]
+        }
+        assert changed <= {"a0"}  # the MMIO load's target register
+        assert vcpu.pc - before_pc in (0, 2, 4)
+        assert vcpu.csrs["hvip"] & ~(1 << 2 | 1 << 6 | 1 << 10) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(garbage=st.binary(min_size=72, max_size=72))
+    def test_raw_page_scribble_never_accepted_as_valid_redirect(self, shared_machine, garbage):
+        machine = shared_machine
+        session = machine.launch_confidential_vm(image=b"fz" * 100)
+        cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+        ws = machine.monitor.world_switch
+        ws.enter_cvm(machine.hart, cvm, vcpu)
+        ws.exit_to_normal(
+            machine.hart, cvm, vcpu,
+            {"kind": "mmio_load", "cause": 21, "htval": 0x1000_0000,
+             "htinst": 0x503, "gpr_index": 10, "gpr_value": 0},
+        )
+        shared = cvm.shared_vcpus[0]
+        machine.bus.cpu_write(machine.hart, shared.base_pa, garbage)
+        sp_before = vcpu.gprs["sp"]
+        try:
+            ws.enter_cvm(machine.hart, cvm, vcpu)
+        except SecurityViolation:
+            pass
+        # Under no input does the stack pointer move.
+        assert vcpu.gprs["sp"] == sp_before
+
+
+class TestWorldSwitchRoundTripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        gprs=st.dictionaries(st.sampled_from(GPR_NAMES), u64, min_size=1, max_size=8),
+        vsepc=u64,
+    )
+    def test_arbitrary_guest_state_survives_switches(self, shared_machine, gprs, vsepc):
+        machine = shared_machine
+        session = machine.launch_confidential_vm(image=b"rt" * 50)
+        cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+        ws = machine.monitor.world_switch
+        ws.enter_cvm(machine.hart, cvm, vcpu)
+        for name, value in gprs.items():
+            machine.hart.write_gpr(name, value)
+        machine.hart.csrs.write_raw("vsepc", vsepc)
+        ws.exit_to_normal(machine.hart, cvm, vcpu, {"kind": "timer", "cause": 7})
+        # Hostile host: trash everything it can reach.
+        for name in GPR_NAMES:
+            machine.hart.write_gpr(name, 0xBAD0BAD0BAD0BAD0)
+        machine.hart.csrs.write_raw("vsepc", 0)
+        ws.enter_cvm(machine.hart, cvm, vcpu)
+        for name, value in gprs.items():
+            assert machine.hart.read_gpr(name) == value, name
+        assert machine.hart.csrs.read_raw("vsepc") == vsepc

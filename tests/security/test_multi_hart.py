@@ -1,0 +1,80 @@
+"""Multi-hart security: PMP world state is per-hart.
+
+The PMP toggle is the crux of ZION's isolation; with multiple harts, the
+pool being open on the hart *running the CVM* must not open anything for
+the other harts, where the hypervisor keeps executing concurrently.
+"""
+
+import pytest
+
+from repro.errors import TrapRaised
+from repro.isa.privilege import PrivilegeMode
+from repro.isa.traps import AccessType
+
+
+@pytest.fixture
+def env(machine):
+    session = machine.launch_confidential_vm(image=b"smp-victim" * 100)
+    session.hart = machine.harts[1]  # the CVM runs on hart 1
+    return machine, session
+
+
+def test_pool_open_only_on_the_cvm_hart(env):
+    machine, session = env
+    vcpu = session.cvm.vcpu(0)
+    machine.monitor.world_switch.enter_cvm(session.hart, session.cvm, vcpu)
+    pool_base = machine.monitor.pool.regions[0][0]
+    # Hart 1 (running the CVM) may access the pool...
+    assert machine.harts[1].pmp.check(pool_base, 8, AccessType.LOAD, PrivilegeMode.VS)
+    # ...every other hart (where the host runs) may not.
+    for hart in (machine.harts[0], machine.harts[2], machine.harts[3]):
+        assert not hart.pmp.check(pool_base, 8, AccessType.LOAD, PrivilegeMode.HS)
+        assert not hart.pmp.check(pool_base, 8, AccessType.STORE, PrivilegeMode.HS)
+
+
+def test_cross_hart_read_faults_while_cvm_runs(env):
+    machine, session = env
+    vcpu = session.cvm.vcpu(0)
+    machine.monitor.world_switch.enter_cvm(session.hart, session.cvm, vcpu)
+    machine.harts[0].mode = PrivilegeMode.HS  # the host on hart 0
+    with pytest.raises(TrapRaised):
+        machine.bus.cpu_read(machine.harts[0], machine.monitor.pool.regions[0][0], 8)
+
+
+def test_workload_on_secondary_hart(env):
+    machine, session = env
+    base = session.layout.dram_base + (8 << 20)
+
+    def workload(ctx):
+        ctx.store(base, 0x1234)
+        return ctx.load(base)
+
+    result = machine.run(session, workload)
+    assert result["workload_result"] == 0x1234
+    # The run left hart 1 back in Normal-mode configuration...
+    assert not machine.pmp_controller.pool_is_open(machine.harts[1])
+    # ...and never touched hart 0's delegation or PMP state.
+    assert not machine.pmp_controller.pool_is_open(machine.harts[0])
+
+
+def test_two_cvms_on_two_harts_alternating(machine):
+    a = machine.launch_confidential_vm(image=b"a" * 4096)
+    b = machine.launch_confidential_vm(image=b"b" * 4096)
+    a.hart = machine.harts[1]
+    b.hart = machine.harts[2]
+    base = a.layout.dram_base + (8 << 20)
+    machine.run(a, lambda ctx: ctx.store(base, 0xA))
+    machine.run(b, lambda ctx: ctx.store(base, 0xB))
+    assert machine.run(a, lambda ctx: ctx.load(base))["workload_result"] == 0xA
+    assert machine.run(b, lambda ctx: ctx.load(base))["workload_result"] == 0xB
+
+
+def test_delegation_swap_is_per_hart(env):
+    """CVM delegation on hart 1 never bleeds into hart 0's CSRs."""
+    from repro.isa.traps import ExceptionCause
+
+    machine, session = env
+    vcpu = session.cvm.vcpu(0)
+    machine.monitor.world_switch.enter_cvm(session.hart, session.cvm, vcpu)
+    assert ExceptionCause.LOAD_GUEST_PAGE_FAULT not in machine.harts[1].medeleg
+    assert ExceptionCause.LOAD_GUEST_PAGE_FAULT in machine.harts[0].medeleg

@@ -1,0 +1,108 @@
+"""Split-page-table attacks (paper IV-E).
+
+The hypervisor legitimately owns the shared subtree; these tests check
+that ownership of the *shared* half never becomes a lever over the
+*private* half or the pool.
+"""
+
+import pytest
+
+from repro.errors import SecurityViolation, TrapRaised
+from repro.isa.privilege import PrivilegeMode
+from repro.mem.pagetable import Sv39x4
+from repro.mem.physmem import PAGE_SIZE
+
+
+@pytest.fixture
+def env(machine):
+    session = machine.launch_confidential_vm(image=b"PRIVATE!" * 512)
+    machine.hart.mode = PrivilegeMode.HS
+    return machine, session
+
+
+def _pool_page(machine):
+    return machine.monitor.pool.regions[0][0]
+
+
+class TestHypervisorSharedSubtreePowers:
+    def test_hyp_can_edit_shared_subtree(self, env):
+        """The legitimate power: remapping shared pages with no SM call."""
+        machine, session = env
+        handle = session.handle
+        subtree = next(iter(handle.shared_subtrees.values()))
+        # Remap shared page 0 to a fresh frame, directly.
+        new_frame = machine.host_allocator.alloc()
+        machine.dram.zero_range(new_frame, PAGE_SIZE)
+        level1 = (machine.bus.cpu_read_u64(machine.hart, subtree) >> 10) << 12
+        sm_calls_before = machine.ledger.by_category()
+        machine.bus.cpu_write_u64(machine.hart, level1, (new_frame >> 12) << 10 | 0b10111 | 0x80)
+
+        class Raw:
+            def read_u64(self, a):
+                return machine.dram.read_u64(a)
+
+        result = Sv39x4().walk(Raw(), session.cvm.hgatp_root, session.layout.shared_base)
+        assert result.pa == new_frame  # visible through the CVM's root too
+
+    def test_hyp_cannot_edit_private_subtree(self, env):
+        machine, session = env
+        root = session.cvm.hgatp_root
+        private_index = session.layout.dram_base >> 30
+        slot = root + 8 * private_index
+        with pytest.raises(TrapRaised):
+            machine.bus.cpu_write_u64(machine.hart, slot, 0)
+
+    def test_aliasing_pool_into_shared_region_is_refused_at_walk(self, env):
+        """Hyp remaps a shared GPA onto the pool; the guest access fails."""
+        machine, session = env
+        handle = session.handle
+        subtree = next(iter(handle.shared_subtrees.values()))
+        level1 = (machine.bus.cpu_read_u64(machine.hart, subtree) >> 10) << 12
+        evil_pte = (_pool_page(machine) >> 12) << 10 | 0b10111 | 0x80
+        machine.bus.cpu_write_u64(machine.hart, level1, evil_pte)
+        machine.translator.tlb.flush_all()
+
+        def workload(ctx):
+            return ctx.load(session.layout.shared_base)
+
+        with pytest.raises(SecurityViolation):
+            machine.run(session, workload)
+
+    def test_hyp_access_to_pool_through_its_own_view_faults(self, env):
+        """Even with the alias installed, the hypervisor's own loads of
+        the pool still PMP-fault: its root only reaches normal memory."""
+        machine, session = env
+        with pytest.raises(TrapRaised):
+            machine.bus.cpu_read(machine.hart, _pool_page(machine), 8)
+
+
+class TestSmLinkValidation:
+    def test_relink_requires_normal_memory_table(self, env):
+        machine, session = env
+        with pytest.raises(SecurityViolation):
+            machine.monitor.ecall_link_shared_subtree(
+                session.cvm.cvm_id, 300, _pool_page(machine)
+            )
+
+    def test_link_cannot_cover_private_half(self, env):
+        machine, session = env
+        table = machine.host_allocator.alloc()
+        machine.dram.zero_range(table, PAGE_SIZE)
+        private_index = session.layout.dram_base >> 30
+        with pytest.raises(SecurityViolation):
+            machine.monitor.ecall_link_shared_subtree(
+                session.cvm.cvm_id, private_index, table
+            )
+
+    def test_shared_window_io_still_works_after_attack_checks(self, env):
+        """The defences must not break the legitimate virtio path."""
+        machine, session = env
+        machine.attach_virtio_block(session)
+
+        def workload(ctx):
+            blk = ctx.blk_driver()
+            blk.write(0, b"legit" + bytes(507))
+            return blk.read(0, 512)
+
+        result = machine.run(session, workload)
+        assert result["workload_result"][:5] == b"legit"

@@ -1,0 +1,164 @@
+"""vCPU state confidentiality and TOCTOU attacks (paper IV-B)."""
+
+import pytest
+
+from repro.errors import SecurityViolation, TrapRaised
+from repro.hyp.devices import ConsoleDevice
+from repro.isa.privilege import PrivilegeMode
+from repro.sm.vcpu import SHARED_VCPU_FIELDS
+
+
+@pytest.fixture
+def env(machine):
+    session = machine.launch_confidential_vm(image=b"guest" * 1000)
+    return machine, session
+
+
+class TestRegisterConfidentiality:
+    def test_hypervisor_sees_only_exit_specific_registers(self, env):
+        """After a timer exit, the shared page holds no guest GPR values."""
+        machine, session = env
+        cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+        ws = machine.monitor.world_switch
+        ws.enter_cvm(machine.hart, cvm, vcpu)
+        # The guest computes with secret values in registers.
+        secret = 0x5EC12E7_0000_1234
+        machine.hart.write_gpr("a5", secret)
+        ws.exit_to_normal(machine.hart, cvm, vcpu, {"kind": "timer", "cause": 7})
+        # The hypervisor reads every shared-vCPU field it can see.
+        shared = cvm.shared_vcpus[0]
+        visible = {
+            field: shared.hyp_read(machine.hart, field) for field in SHARED_VCPU_FIELDS
+        }
+        assert secret not in visible.values()
+        # And the hart's own registers were scrubbed... the secure copy
+        # holds the value, inside SM memory.
+        assert vcpu.gprs["a5"] == secret
+
+    def test_mmio_exit_exposes_only_the_trapped_access(self, env):
+        machine, session = env
+        console = ConsoleDevice(0x1000_0000)
+        machine.hypervisor.devices.add(console)
+
+        def workload(ctx):
+            ctx.compute(100)
+            machine.hart.write_gpr("s4", 0xDEAD_0001)  # a guest secret
+            ctx.mmio_write(0x1000_0000, 0x41)  # exposes only the store value
+
+        machine.run(session, workload)
+        # The device (host side) legitimately saw the store operand...
+        assert bytes(console.output) == b"\x41"
+        # ...but nothing else ever crossed, and the final exit scrubbed
+        # even that slot from the shared page.
+        shared = session.cvm.shared_vcpus[0]
+        machine.hart.mode = PrivilegeMode.HS
+        visible = {
+            field: shared.hyp_read(machine.hart, field) for field in SHARED_VCPU_FIELDS
+        }
+        assert 0xDEAD_0001 not in visible.values()
+        assert visible["gpr_value"] == 0  # scrubbed after the halt exit
+
+    def test_secure_vcpu_lives_outside_hypervisor_reach(self, env):
+        """The secure vCPU is an SM data structure, not host memory.
+
+        In the simulation it is a Python object inside the monitor; the
+        architectural property to check is that *no* hypervisor-readable
+        memory holds the state: the shared page is the only exchange
+        area, and its size bounds what can ever cross.
+        """
+        machine, session = env
+        assert len(SHARED_VCPU_FIELDS) * 8 == 72  # nine 64-bit slots, fixed
+
+
+class TestToctouAttacks:
+    def _mmio_exit(self, machine, session):
+        cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+        ws = machine.monitor.world_switch
+        ws.enter_cvm(machine.hart, cvm, vcpu)
+        ws.exit_to_normal(
+            machine.hart, cvm, vcpu,
+            {"kind": "mmio_load", "cause": 21, "htval": 0x1000_0000,
+             "htinst": 0x503, "gpr_index": 10, "gpr_value": 0},
+        )
+        return cvm, vcpu, cvm.shared_vcpus[0], ws
+
+    def test_gpr_redirect_to_stack_pointer_blocked(self, env):
+        machine, session = env
+        cvm, vcpu, shared, ws = self._mmio_exit(machine, session)
+        shared.hyp_write(machine.hart, "gpr_index", 2)  # sp
+        shared.hyp_write(machine.hart, "gpr_value", 0x6666_6666)
+        shared.hyp_write(machine.hart, "sepc_advance", 4)
+        with pytest.raises(SecurityViolation):
+            ws.enter_cvm(machine.hart, cvm, vcpu)
+
+    def test_pc_hijack_via_sepc_advance_blocked(self, env):
+        machine, session = env
+        cvm, vcpu, shared, ws = self._mmio_exit(machine, session)
+        shared.hyp_write(machine.hart, "gpr_index", 10)
+        shared.hyp_write(machine.hart, "sepc_advance", 0x1000)  # jump!
+        with pytest.raises(SecurityViolation):
+            ws.enter_cvm(machine.hart, cvm, vcpu)
+
+    def test_machine_interrupt_injection_blocked(self, env):
+        machine, session = env
+        cvm, vcpu, shared, ws = self._mmio_exit(machine, session)
+        shared.hyp_write(machine.hart, "gpr_index", 10)
+        shared.hyp_write(machine.hart, "sepc_advance", 4)
+        shared.hyp_write(machine.hart, "pending_irq", 1 << 3)  # MSI
+        with pytest.raises(SecurityViolation):
+            ws.enter_cvm(machine.hart, cvm, vcpu)
+
+    def test_hypervisor_cannot_forge_guest_csrs(self, env):
+        """Scribbling over the whole shared page corrupts nothing secure."""
+        machine, session = env
+        cvm, vcpu, shared, ws = self._mmio_exit(machine, session)
+        saved_csrs = dict(vcpu.csrs)
+        machine.bus.cpu_write(
+            machine.hart, shared.base_pa, b"\xff" * (len(SHARED_VCPU_FIELDS) * 8)
+        )
+        with pytest.raises(SecurityViolation):
+            ws.enter_cvm(machine.hart, cvm, vcpu)
+        assert vcpu.csrs == saved_csrs  # secure copy untouched
+
+    def test_valid_reply_still_accepted_after_attack_attempt(self, env):
+        """A refused resume doesn't wedge the vCPU state machine."""
+        machine, session = env
+        cvm, vcpu, shared, ws = self._mmio_exit(machine, session)
+        shared.hyp_write(machine.hart, "gpr_index", 7)
+        with pytest.raises(SecurityViolation):
+            ws.enter_cvm(machine.hart, cvm, vcpu)
+        shared.hyp_write(machine.hart, "gpr_index", 10)
+        shared.hyp_write(machine.hart, "gpr_value", 5)
+        shared.hyp_write(machine.hart, "sepc_advance", 4)
+        reply = ws.enter_cvm(machine.hart, cvm, vcpu)
+        assert reply["gpr_value"] == 5
+
+
+class TestDelegationSecurity:
+    def test_cvm_traps_never_reach_hypervisor(self, env):
+        """With CVM-mode delegation live, no exception routes to HS."""
+        from repro.isa.traps import ExceptionCause, route_exception
+
+        machine, session = env
+        cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+        machine.monitor.world_switch.enter_cvm(machine.hart, cvm, vcpu)
+        for cause in ExceptionCause:
+            for mode in (PrivilegeMode.VS, PrivilegeMode.VU):
+                dest = route_exception(
+                    cause, mode, machine.hart.medeleg, machine.hart.hedeleg
+                )
+                assert dest is not PrivilegeMode.HS, (cause, mode)
+
+    def test_delegation_restored_for_normal_mode(self, env):
+        from repro.isa.traps import ExceptionCause, route_exception
+
+        machine, session = env
+        cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+        ws = machine.monitor.world_switch
+        ws.enter_cvm(machine.hart, cvm, vcpu)
+        ws.exit_to_normal(machine.hart, cvm, vcpu, {"kind": "timer", "cause": 7})
+        dest = route_exception(
+            ExceptionCause.LOAD_GUEST_PAGE_FAULT, PrivilegeMode.VS,
+            machine.hart.medeleg, machine.hart.hedeleg,
+        )
+        assert dest is PrivilegeMode.HS  # KVM serves normal VMs again

@@ -1,0 +1,184 @@
+"""The register-level ECALL ABI (repro.sm.abi)."""
+
+import pytest
+
+from repro.isa.privilege import PrivilegeMode
+from repro.sm.abi import (
+    EXT_ZION_GUEST,
+    EXT_ZION_HOST,
+    GuestFunction,
+    HostFunction,
+    SbiError,
+)
+
+
+@pytest.fixture
+def iface(machine):
+    return machine.ecall_interface
+
+
+def _host_call(machine, fid, *args):
+    machine.hart.mode = PrivilegeMode.HS
+    return machine.ecall_interface.call(machine.hart, EXT_ZION_HOST, int(fid), list(args) + [0] * (6 - len(args)))
+
+
+class TestHostAbi:
+    def test_create_cvm_returns_id(self, machine):
+        error, cvm_id = _host_call(machine, HostFunction.CREATE_CVM, 1)
+        assert error == SbiError.SUCCESS
+        assert cvm_id in machine.monitor.cvms
+
+    def test_full_lifecycle_through_registers(self, machine):
+        error, cvm_id = _host_call(machine, HostFunction.CREATE_CVM, 1)
+        page = machine.host_allocator.alloc()
+        assert _host_call(machine, HostFunction.ASSIGN_SHARED_VCPU, cvm_id, 0, page)[0] == 0
+        # Stage an image page in normal memory and load it by address.
+        src = machine.host_allocator.alloc()
+        machine.dram.write(src, b"ABI-LOADED-IMAGE" + bytes(4096 - 16))
+        dram_base = machine.monitor.cvms[cvm_id].layout.dram_base
+        assert _host_call(machine, HostFunction.LOAD_IMAGE_PAGE, cvm_id, dram_base, src)[0] == 0
+        assert _host_call(machine, HostFunction.SET_ENTRY_POINT, cvm_id, 0, dram_base)[0] == 0
+        assert _host_call(machine, HostFunction.FINALIZE, cvm_id)[0] == 0
+        assert machine.monitor.cvms[cvm_id].measurement is not None
+        assert _host_call(machine, HostFunction.SUSPEND, cvm_id)[0] == 0
+        assert _host_call(machine, HostFunction.RESUME, cvm_id)[0] == 0
+        assert _host_call(machine, HostFunction.DESTROY, cvm_id)[0] == 0
+
+    def test_host_calls_denied_from_guest_mode(self, machine):
+        machine.hart.mode = PrivilegeMode.VS
+        error, _ = machine.ecall_interface.call(
+            machine.hart, EXT_ZION_HOST, int(HostFunction.CREATE_CVM), [1, 0, 0, 0, 0, 0]
+        )
+        assert error == SbiError.DENIED
+
+    def test_unknown_extension(self, machine):
+        machine.hart.mode = PrivilegeMode.HS
+        error, _ = machine.ecall_interface.call(machine.hart, 0x999, 0, [0] * 6)
+        assert error == SbiError.NOT_SUPPORTED
+
+    def test_unknown_function(self, machine):
+        error, _ = _host_call(machine, 99)
+        assert error == SbiError.NOT_SUPPORTED
+
+    def test_invalid_params_surface_as_error_code(self, machine):
+        error, _ = _host_call(machine, HostFunction.FINALIZE, 424242)
+        assert error == SbiError.INVALID_PARAM
+
+    def test_security_violations_surface_as_denied(self, machine):
+        error, cvm_id = _host_call(machine, HostFunction.CREATE_CVM, 1)
+        pool_page = machine.monitor.pool.regions[0][0]
+        error, _ = _host_call(
+            machine, HostFunction.ASSIGN_SHARED_VCPU, cvm_id, 0, pool_page
+        )
+        assert error == SbiError.DENIED
+
+    def test_host_cannot_feed_sm_secure_bytes(self, machine):
+        """LOAD_IMAGE_PAGE reads the source through the host's PMP view."""
+        error, cvm_id = _host_call(machine, HostFunction.CREATE_CVM, 1)
+        page = machine.host_allocator.alloc()
+        _host_call(machine, HostFunction.ASSIGN_SHARED_VCPU, cvm_id, 0, page)
+        pool_page = machine.monitor.pool.regions[0][0]
+        dram_base = machine.monitor.cvms[cvm_id].layout.dram_base
+        from repro.errors import TrapRaised
+
+        with pytest.raises(TrapRaised):
+            _host_call(machine, HostFunction.LOAD_IMAGE_PAGE, cvm_id, dram_base, pool_page)
+
+
+class TestGuestAbi:
+    def test_get_measurement_into_guest_buffer(self, machine):
+        session = machine.launch_confidential_vm(image=b"abi-guest" * 100)
+        buf = session.layout.dram_base + 0x5000
+
+        def workload(ctx):
+            ctx.touch(buf)  # fault the buffer in first
+            error, length = ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.GET_MEASUREMENT), buf
+            )
+            return error, length, ctx.read_bytes(buf, 32)
+
+        error, length, measurement = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.SUCCESS
+        assert length == 32
+        assert measurement == session.cvm.measurement
+
+    def test_get_random_via_registers(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        buf = session.layout.dram_base + 0x6000
+
+        def workload(ctx):
+            ctx.touch(buf)
+            error, count = ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.GET_RANDOM), buf, 16
+            )
+            return error, ctx.read_bytes(buf, 16)
+
+        error, random = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.SUCCESS
+        assert random != bytes(16)
+
+    def test_attestation_report_via_registers(self, machine):
+        session = machine.launch_confidential_vm(image=b"measured" * 10)
+        data_buf = session.layout.dram_base + 0x7000
+        out_buf = session.layout.dram_base + 0x8000
+
+        def workload(ctx):
+            ctx.write_bytes(data_buf, b"nonce-64")
+            ctx.touch(out_buf)
+            error, length = ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.GET_ATTESTATION_REPORT),
+                data_buf, 8, out_buf,
+            )
+            return error, length, ctx.read_bytes(out_buf, 32)
+
+        error, length, prefix = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.SUCCESS
+        assert length == 32 + 16 + 32  # measurement + nonce + signature
+        assert prefix == session.cvm.measurement
+
+    def test_reclaim_via_registers(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        target = session.layout.dram_base + (8 << 20)
+
+        def workload(ctx):
+            ctx.store(target, 1)
+            return ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.RECLAIM_PAGES), target, 1
+            )
+
+        error, freed = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.SUCCESS
+        assert freed == 1
+
+    def test_guest_calls_denied_from_host_mode(self, machine):
+        machine.hart.mode = PrivilegeMode.HS
+        error, _ = machine.ecall_interface.call(
+            machine.hart, EXT_ZION_GUEST, int(GuestFunction.GET_RANDOM), [0] * 6
+        )
+        assert error == SbiError.DENIED
+
+    def test_unmapped_guest_buffer_rejected(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+
+        def workload(ctx):
+            return ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.GET_RANDOM),
+                session.layout.dram_base + (100 << 20), 16,
+            )
+
+        error, _ = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.INVALID_PARAM
+
+    def test_cross_page_buffer_rejected(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        buf = session.layout.dram_base + 0x5FF8  # 8 bytes before a boundary
+
+        def workload(ctx):
+            ctx.touch(buf)
+            ctx.touch(buf + 0x1000)
+            return ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.GET_RANDOM), buf, 32
+            )
+
+        error, _ = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.INVALID_PARAM

@@ -1,0 +1,107 @@
+"""Hierarchical three-stage allocation (paper IV-D)."""
+
+import pytest
+
+from repro.cycles import Category, CycleLedger, DEFAULT_COSTS
+from repro.sm.alloc import AllocStage, HierarchicalAllocator, PoolExhausted
+from repro.sm.secmem import SECURE_BLOCK_SIZE, SecureMemoryPool
+
+BASE = 0x9000_0000
+PAGES_PER_BLOCK = SECURE_BLOCK_SIZE // 4096
+
+
+@pytest.fixture
+def pool():
+    pool = SecureMemoryPool()
+    pool.register_region(BASE, 2 * SECURE_BLOCK_SIZE)
+    return pool
+
+
+@pytest.fixture
+def ledger():
+    return CycleLedger()
+
+
+@pytest.fixture
+def allocator(pool, ledger):
+    return HierarchicalAllocator(pool, ledger, DEFAULT_COSTS)
+
+
+def test_first_allocation_is_stage_two(allocator):
+    """An empty cache forces a block grab."""
+    pa, stage = allocator.alloc_page(1, 0)
+    assert stage is AllocStage.NEW_BLOCK
+    assert pa is not None
+
+
+def test_subsequent_allocations_hit_page_cache(allocator):
+    allocator.alloc_page(1, 0)
+    for _ in range(PAGES_PER_BLOCK - 1):
+        _, stage = allocator.alloc_page(1, 0)
+        assert stage is AllocStage.PAGE_CACHE
+
+
+def test_cache_exhaustion_triggers_stage_two_again(allocator):
+    for _ in range(PAGES_PER_BLOCK):
+        allocator.alloc_page(1, 0)
+    _, stage = allocator.alloc_page(1, 0)
+    assert stage is AllocStage.NEW_BLOCK
+
+
+def test_pool_exhaustion_raises(allocator):
+    for _ in range(2 * PAGES_PER_BLOCK):
+        allocator.alloc_page(1, 0)
+    with pytest.raises(PoolExhausted):
+        allocator.alloc_page(1, 0)
+
+
+def test_per_vcpu_caches_are_independent(allocator, pool):
+    """Each vCPU gets its own block (lock-free fast path, paper IV-D)."""
+    pa0, stage0 = allocator.alloc_page(1, 0)
+    pa1, stage1 = allocator.alloc_page(1, 1)
+    assert stage0 is stage1 is AllocStage.NEW_BLOCK
+    block_of = lambda pa: (pa - BASE) // SECURE_BLOCK_SIZE
+    assert block_of(pa0) != block_of(pa1)
+    assert allocator.cache_for(0).block is not allocator.cache_for(1).block
+
+
+def test_allocated_pages_tagged_with_cvm(allocator, pool):
+    pa, _ = allocator.alloc_page(7, 0)
+    assert pool.owner_of(pa) == 7
+
+
+def test_all_pages_unique(allocator):
+    pages = set()
+    for _ in range(2 * PAGES_PER_BLOCK):
+        pa, _ = allocator.alloc_page(1, 0)
+        assert pa not in pages
+        pages.add(pa)
+
+
+def test_stage_counters(allocator):
+    for _ in range(PAGES_PER_BLOCK + 1):
+        allocator.alloc_page(1, 0)
+    counts = allocator.stage_counts
+    assert counts[AllocStage.NEW_BLOCK] == 2
+    assert counts[AllocStage.PAGE_CACHE] == PAGES_PER_BLOCK - 1
+
+
+def test_stage_one_cheaper_than_stage_two(pool, ledger):
+    allocator = HierarchicalAllocator(pool, ledger, DEFAULT_COSTS)
+    with ledger.span() as stage2:
+        allocator.alloc_page(1, 0)
+    with ledger.span() as stage1:
+        allocator.alloc_page(1, 0)
+    assert stage1.cycles < stage2.cycles
+
+
+def test_release_all_returns_cached_blocks(allocator):
+    allocator.alloc_page(1, 0)
+    allocator.alloc_page(1, 1)
+    blocks = allocator.release_all(1)
+    assert len(blocks) == 2
+
+
+def test_alloc_charges_alloc_category(allocator, ledger):
+    allocator.alloc_page(1, 0)
+    assert ledger.by_category()[Category.ALLOC] > 0

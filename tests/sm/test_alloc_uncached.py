@@ -1,0 +1,83 @@
+"""The no-page-cache allocator ablation path."""
+
+import pytest
+
+from repro.cycles import Category, CycleLedger, DEFAULT_COSTS
+from repro.sm.alloc import AllocStage, HierarchicalAllocator, PoolExhausted
+from repro.sm.secmem import SECURE_BLOCK_SIZE, SecureMemoryPool
+
+BASE = 0x9000_0000
+
+
+@pytest.fixture
+def env():
+    pool = SecureMemoryPool()
+    pool.register_region(BASE, 2 * SECURE_BLOCK_SIZE)
+    ledger = CycleLedger()
+    allocator = HierarchicalAllocator(pool, ledger, DEFAULT_COSTS, use_page_cache=False)
+    return pool, ledger, allocator
+
+
+def test_every_allocation_is_stage_two(env):
+    pool, ledger, allocator = env
+    for _ in range(10):
+        _pa, stage = allocator.alloc_page(1, 0)
+        assert stage is AllocStage.NEW_BLOCK
+
+
+def test_pages_unique_and_owned(env):
+    pool, ledger, allocator = env
+    seen = set()
+    for _ in range(100):
+        pa, _ = allocator.alloc_page(7, 0)
+        assert pa not in seen
+        seen.add(pa)
+        assert pool.owner_of(pa) == 7
+
+
+def test_every_allocation_pays_the_lock(env):
+    pool, ledger, allocator = env
+    allocator.alloc_page(1, 0)
+    before = ledger.by_category()[Category.ALLOC]
+    allocator.alloc_page(1, 0)
+    delta = ledger.by_category()[Category.ALLOC] - before
+    assert delta >= DEFAULT_COSTS.pool_lock_cost + DEFAULT_COSTS.block_unlink
+
+
+def test_uncached_costs_more_than_cached_per_page():
+    pool = SecureMemoryPool()
+    pool.register_region(BASE, 2 * SECURE_BLOCK_SIZE)
+    ledger = CycleLedger()
+    cached = HierarchicalAllocator(pool, ledger, DEFAULT_COSTS, use_page_cache=True)
+    cached.alloc_page(1, 0)  # absorb the stage-2 refill
+    with ledger.span() as cached_span:
+        cached.alloc_page(1, 0)
+
+    pool2 = SecureMemoryPool()
+    pool2.register_region(BASE, 2 * SECURE_BLOCK_SIZE)
+    uncached = HierarchicalAllocator(pool2, ledger, DEFAULT_COSTS, use_page_cache=False)
+    uncached.alloc_page(1, 0)
+    with ledger.span() as uncached_span:
+        uncached.alloc_page(1, 0)
+    assert cached_span.cycles < uncached_span.cycles
+
+
+def test_exhaustion_still_raises(env):
+    pool, ledger, allocator = env
+    pages = 2 * SECURE_BLOCK_SIZE // 4096
+    for _ in range(pages):
+        allocator.alloc_page(1, 0)
+    with pytest.raises(PoolExhausted):
+        allocator.alloc_page(1, 0)
+
+
+def test_machine_level_plumbing():
+    from repro import Machine, MachineConfig
+    from repro.workloads.memstress import sequential_write_stress
+
+    machine = Machine(MachineConfig(use_page_cache=False))
+    session = machine.launch_confidential_vm(image=b"x")
+    stages = []
+    machine.fault_observer = lambda kind, stage, cycles: stages.append(stage)
+    machine.run(session, sequential_write_stress(16))
+    assert stages == [AllocStage.NEW_BLOCK] * 16

@@ -1,0 +1,103 @@
+"""Measurement, reports, and platform randomness."""
+
+import pytest
+
+from repro.sm.attestation import AttestationService, MeasurementLog
+
+
+@pytest.fixture
+def service():
+    return AttestationService(b"device-secret", b"entropy-seed")
+
+
+class TestMeasurementLog:
+    def test_deterministic(self):
+        a, b = MeasurementLog(), MeasurementLog()
+        for log in (a, b):
+            log.extend("image", b"code")
+            log.extend("entry", b"\x00" * 8)
+        assert a.finalize() == b.finalize()
+
+    def test_order_sensitive(self):
+        a, b = MeasurementLog(), MeasurementLog()
+        a.extend("x", b"1")
+        a.extend("y", b"2")
+        b.extend("y", b"2")
+        b.extend("x", b"1")
+        assert a.finalize() != b.finalize()
+
+    def test_label_data_boundary_unambiguous(self):
+        """("ab", "c") must not collide with ("a", "bc")."""
+        a, b = MeasurementLog(), MeasurementLog()
+        a.extend("ab", b"c")
+        b.extend("a", b"bc")
+        assert a.finalize() != b.finalize()
+
+    def test_extend_after_finalize_rejected(self):
+        log = MeasurementLog()
+        log.finalize()
+        with pytest.raises(ValueError):
+            log.extend("late", b"data")
+
+    def test_finalize_idempotent(self):
+        log = MeasurementLog()
+        log.extend("x", b"1")
+        assert log.finalize() == log.finalize()
+
+
+class TestRandom:
+    def test_requested_length(self, service):
+        for n in (1, 16, 32, 100):
+            assert len(service.random_bytes(n)) == n
+
+    def test_outputs_differ_across_calls(self, service):
+        assert service.random_bytes(32) != service.random_bytes(32)
+
+    def test_deterministic_given_seed(self):
+        a = AttestationService(b"k", b"seed")
+        b = AttestationService(b"k", b"seed")
+        assert a.random_bytes(32) == b.random_bytes(32)
+
+    def test_different_seeds_differ(self):
+        a = AttestationService(b"k", b"seed-1")
+        b = AttestationService(b"k", b"seed-2")
+        assert a.random_bytes(32) != b.random_bytes(32)
+
+
+class TestReports:
+    def test_sign_and_verify(self, service):
+        report = service.sign_report(1, b"\xaa" * 32, b"user-data")
+        assert service.verify_report(report)
+
+    def test_tampered_measurement_fails(self, service):
+        import dataclasses
+
+        report = service.sign_report(1, b"\xaa" * 32, b"")
+        forged = dataclasses.replace(report, measurement=b"\xbb" * 32)
+        assert not service.verify_report(forged)
+
+    def test_tampered_report_data_fails(self, service):
+        import dataclasses
+
+        report = service.sign_report(1, b"\xaa" * 32, b"honest")
+        forged = dataclasses.replace(report, report_data=b"forged")
+        assert not service.verify_report(forged)
+
+    def test_wrong_cvm_id_fails(self, service):
+        import dataclasses
+
+        report = service.sign_report(1, b"\xaa" * 32, b"")
+        forged = dataclasses.replace(report, cvm_id=2)
+        assert not service.verify_report(forged)
+
+    def test_other_platform_key_fails(self, service):
+        other = AttestationService(b"other-secret", b"entropy-seed")
+        report = service.sign_report(1, b"\xaa" * 32, b"")
+        assert not other.verify_report(report)
+
+    def test_as_dict_serializable(self, service):
+        import json
+
+        report = service.sign_report(3, b"\xcc" * 32, b"rd")
+        text = json.dumps(report.as_dict())
+        assert "cc" * 32 in text

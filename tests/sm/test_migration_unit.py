@@ -1,0 +1,46 @@
+"""Migration module internals: keystream, framing, key derivation."""
+
+import pytest
+
+from repro.sm.migration import _keystream, _mac, _xor, derive_migration_key
+
+
+class TestKeystream:
+    def test_deterministic(self):
+        assert _keystream(b"k" * 32, 100) == _keystream(b"k" * 32, 100)
+
+    def test_prefix_property(self):
+        """Longer streams extend shorter ones (CTR construction)."""
+        short = _keystream(b"k" * 32, 40)
+        long = _keystream(b"k" * 32, 200)
+        assert long[:40] == short
+
+    def test_key_separation(self):
+        assert _keystream(b"a" * 32, 64) != _keystream(b"b" * 32, 64)
+
+    def test_xor_is_involutive(self):
+        stream = _keystream(b"k" * 32, 32)
+        data = bytes(range(32))
+        assert _xor(_xor(data, stream), stream) == data
+
+
+class TestMac:
+    def test_deterministic_and_key_bound(self):
+        assert _mac(b"k", b"data") == _mac(b"k", b"data")
+        assert _mac(b"k", b"data") != _mac(b"K", b"data")
+        assert _mac(b"k", b"data") != _mac(b"k", b"datb")
+
+    def test_mac_key_differs_from_enc_key(self):
+        """Encrypt and MAC must not share a key (domain separation)."""
+        key = b"k" * 32
+        assert _keystream(key, 32) != _mac(key, b"")
+
+
+class TestKeyDerivation:
+    def test_output_is_256_bit(self):
+        assert len(derive_migration_key(b"s", b"a", b"b")) == 32
+
+    def test_nonce_order_matters(self):
+        assert derive_migration_key(b"s", b"a", b"b") != derive_migration_key(
+            b"s", b"b", b"a"
+        )

@@ -1,0 +1,44 @@
+"""Cross-hart shootdown on pool-coverage changes."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.cycles import Category
+
+
+def test_pool_registration_ipis_other_harts(machine):
+    """Registration fences all four harts; IPIs are sent and acked."""
+    ipis = []
+    original = machine.clint.broadcast_ipi
+
+    def spy(exclude=None):
+        ipis.append(exclude)
+        original(exclude=exclude)
+
+    machine.clint.broadcast_ipi = spy
+    base = machine.host_allocator.alloc(size=1 << 20)
+    machine.monitor.ecall_register_pool_memory(base, 1 << 20)
+    assert ipis == [0]
+    # All IPIs were acknowledged (cleared) by the end of the call.
+    for hart_id in range(machine.config.hart_count):
+        assert not machine.clint.ipi_pending(hart_id)
+
+
+def test_shootdown_cost_scales_with_hart_count():
+    costs = {}
+    for harts in (1, 4):
+        machine = Machine(MachineConfig(hart_count=harts))
+        base = machine.host_allocator.alloc(size=1 << 20)
+        with machine.ledger.span() as span:
+            machine.monitor.ecall_register_pool_memory(base, 1 << 20)
+        costs[harts] = span.breakdown.get(Category.TLB, 0)
+    assert costs[4] > costs[1]
+    delta = costs[4] - costs[1]
+    assert delta == 3 * machine.costs.ipi_shootdown_cost
+
+
+def test_shootdown_skipped_without_clint(machine):
+    """The monitor degrades gracefully when no CLINT is wired (unit use)."""
+    machine.monitor.clint = None
+    base = machine.host_allocator.alloc(size=1 << 20)
+    machine.monitor.ecall_register_pool_memory(base, 1 << 20)  # must not raise

@@ -1,0 +1,69 @@
+"""Analysis module: stats snapshots and overhead reports."""
+
+import pytest
+
+from repro.analysis import machine_stats, overhead_report, render_stats
+from repro.cycles import Category
+
+
+@pytest.fixture
+def run_machine(machine):
+    session = machine.launch_confidential_vm(image=b"stats" * 100)
+    machine.run(session, lambda ctx: ctx.compute(2_000_000))
+    return machine, session
+
+
+class TestMachineStats:
+    def test_snapshot_structure(self, run_machine):
+        machine, session = run_machine
+        stats = machine_stats(machine)
+        assert stats["cycles"]["total"] == machine.ledger.total
+        assert stats["pool"]["regions"] == 1
+        assert stats["pmp_entries_used"] == 3
+        cvm_stats = stats["cvms"][session.cvm.cvm_id]
+        assert cvm_stats["exits"] >= 1
+        assert "halt" in cvm_stats["exit_reasons"]
+
+    def test_exit_reasons_track_timer_ticks(self, run_machine):
+        machine, session = run_machine
+        stats = machine_stats(machine)
+        reasons = stats["cvms"][session.cvm.cvm_id]["exit_reasons"]
+        assert reasons.get("timer", 0) >= 1  # 2M cycles = at least 1 tick
+
+    def test_tlb_hit_rate_none_when_unused(self, machine):
+        stats = machine_stats(machine)
+        assert stats["tlb"]["hit_rate"] is None
+
+    def test_render_is_plain_text(self, run_machine):
+        machine, _ = run_machine
+        text = render_stats(machine_stats(machine))
+        assert "total cycles" in text
+        assert "PMP entries 3/16" in text
+
+
+class TestOverheadReport:
+    def test_delta_ordering(self):
+        normal = {Category.COMPUTE: 1000, Category.TRAP: 100}
+        cvm = {Category.COMPUTE: 1000, Category.TRAP: 400, Category.PMP: 50}
+        rows = overhead_report(normal, cvm)
+        assert rows[0]["category"] == "trap"
+        assert rows[0]["delta"] == 300
+        assert {row["category"] for row in rows} == {"compute", "trap", "pmp"}
+
+    def test_real_runs_show_switch_costs(self, machine):
+        from repro import Machine, MachineConfig
+
+        results = {}
+        for kind in ("normal", "cvm"):
+            m = Machine(MachineConfig())
+            if kind == "cvm":
+                s = m.launch_confidential_vm(image=b"x")
+            else:
+                s = m.launch_normal_vm()
+            results[kind] = m.run(s, lambda ctx: ctx.compute(3_000_000))
+        rows = overhead_report(results["normal"]["breakdown"], results["cvm"]["breakdown"])
+        by_cat = {row["category"]: row["delta"] for row in rows}
+        # The CVM's extra cycles are in SM logic, PMP toggles, and TLB.
+        assert by_cat.get("sm_logic", 0) > 0
+        assert by_cat.get("pmp", 0) > 0
+        assert by_cat["compute"] == 0

@@ -1,0 +1,161 @@
+"""Remote attestation protocol: handshake, policy, freshness, sealing."""
+
+import pytest
+
+from repro.attest_protocol import (
+    AttestationError,
+    GuestAttestationAgent,
+    Verifier,
+    agree_session_key,
+    open_message,
+    seal_message,
+)
+
+TRUSTED_IMAGE = b"trusted-guest-v1.2" * 100
+
+
+@pytest.fixture
+def deployed(machine):
+    session = machine.launch_confidential_vm(image=TRUSTED_IMAGE)
+    verifier = Verifier(
+        platform_verifier=machine.monitor.attestation,
+        trusted_measurements=[session.cvm.measurement],
+    )
+    return machine, session, verifier
+
+
+def _handshake(machine, session, verifier):
+    challenge = verifier.challenge()
+
+    def workload(ctx):
+        agent = GuestAttestationAgent(ctx)
+        evidence = agent.respond(challenge)
+        return agent, evidence
+
+    agent, evidence = machine.run(session, workload)["workload_result"]
+    verifier_share = verifier.verify(challenge, evidence)
+    return agent, evidence, verifier_share
+
+
+class TestHandshake:
+    def test_successful_attestation_and_sealed_channel(self, deployed):
+        machine, session, verifier = deployed
+        agent, evidence, verifier_share = _handshake(machine, session, verifier)
+        key = agree_session_key(agent, verifier_share)
+        sealed = seal_message(key, b"database credentials: hunter2")
+        assert b"hunter2" not in sealed
+        assert open_message(key, sealed) == b"database credentials: hunter2"
+
+    def test_untrusted_measurement_rejected(self, machine):
+        rogue = machine.launch_confidential_vm(image=b"rogue-image" * 100)
+        verifier = Verifier(
+            platform_verifier=machine.monitor.attestation,
+            trusted_measurements=[b"\x00" * 32],  # policy: something else
+        )
+        challenge = verifier.challenge()
+
+        def workload(ctx):
+            return GuestAttestationAgent(ctx).respond(challenge)
+
+        evidence = machine.run(rogue, workload)["workload_result"]
+        with pytest.raises(AttestationError, match="not in policy"):
+            verifier.verify(challenge, evidence)
+
+    def test_replayed_challenge_rejected(self, deployed):
+        machine, session, verifier = deployed
+        challenge = verifier.challenge()
+
+        def workload(ctx):
+            return GuestAttestationAgent(ctx).respond(challenge)
+
+        evidence = machine.run(session, workload)["workload_result"]
+        verifier.verify(challenge, evidence)
+        with pytest.raises(AttestationError, match="replayed"):
+            verifier.verify(challenge, evidence)
+
+    def test_unknown_challenge_rejected(self, deployed):
+        machine, session, verifier = deployed
+        challenge = verifier.challenge()
+
+        def workload(ctx):
+            return GuestAttestationAgent(ctx).respond(challenge)
+
+        evidence = machine.run(session, workload)["workload_result"]
+        with pytest.raises(AttestationError, match="unknown"):
+            verifier.verify(b"X" * 24, evidence)
+
+    def test_evidence_bound_to_challenge(self, deployed):
+        """Evidence for challenge A cannot satisfy challenge B."""
+        machine, session, verifier = deployed
+        challenge_a = verifier.challenge()
+        challenge_b = verifier.challenge()
+
+        def workload(ctx):
+            return GuestAttestationAgent(ctx).respond(challenge_a)
+
+        evidence = machine.run(session, workload)["workload_result"]
+        with pytest.raises(AttestationError, match="bind"):
+            verifier.verify(challenge_b, evidence)
+
+    def test_swapped_guest_share_rejected(self, deployed):
+        import dataclasses
+
+        machine, session, verifier = deployed
+        challenge = verifier.challenge()
+
+        def workload(ctx):
+            return GuestAttestationAgent(ctx).respond(challenge)
+
+        evidence = machine.run(session, workload)["workload_result"]
+        forged = dataclasses.replace(evidence, guest_share=b"\x41" * 32)
+        with pytest.raises(AttestationError, match="bind"):
+            verifier.verify(challenge, forged)
+
+    def test_short_challenge_refused_by_guest(self, deployed):
+        machine, session, _ = deployed
+
+        def workload(ctx):
+            with pytest.raises(AttestationError):
+                GuestAttestationAgent(ctx).respond(b"short")
+
+        machine.run(session, workload)
+
+    def test_wrong_platform_rejected(self, deployed):
+        """Evidence from a different machine's SM fails signature check."""
+        from repro import Machine, MachineConfig
+
+        machine, session, verifier = deployed
+        other = Machine(MachineConfig())
+        other_session = other.launch_confidential_vm(image=TRUSTED_IMAGE)
+        # Same image, same measurement -- but another platform key...
+        other.monitor.attestation._device_secret = b"other-device"
+        challenge = verifier.challenge()
+
+        def workload(ctx):
+            return GuestAttestationAgent(ctx).respond(challenge)
+
+        evidence = other.run(other_session, workload)["workload_result"]
+        with pytest.raises(AttestationError, match="signature"):
+            verifier.verify(challenge, evidence)
+
+
+class TestSealing:
+    def test_tampered_message_rejected(self):
+        key = b"k" * 32
+        sealed = bytearray(seal_message(key, b"payload"))
+        sealed[0] ^= 1
+        with pytest.raises(AttestationError):
+            open_message(key, bytes(sealed))
+
+    def test_wrong_key_rejected(self):
+        sealed = seal_message(b"a" * 32, b"payload")
+        with pytest.raises(AttestationError):
+            open_message(b"b" * 32, sealed)
+
+    def test_empty_message_roundtrip(self):
+        key = b"k" * 32
+        assert open_message(key, seal_message(key, b"")) == b""
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(AttestationError):
+            open_message(b"k" * 32, b"tiny")

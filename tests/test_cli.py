@@ -1,0 +1,37 @@
+"""CLI smoke tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_stats_command(capsys):
+    assert main(["stats"]) == 0
+    out = capsys.readouterr().out
+    assert "total cycles" in out
+    assert "CVM 1" in out
+
+
+def test_attack_command_all_blocked(capsys):
+    assert main(["attack"]) == 0
+    out = capsys.readouterr().out
+    assert "SUCCEEDED" not in out
+    assert out.count("blocked") == 5
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "report verified: True" in out
+
+
+def test_experiments_subset(capsys):
+    assert main(["experiments", "--only", "E1"]) == 0
+    out = capsys.readouterr().out
+    assert "E1 shared vCPU" in out
+    assert "E3" not in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

@@ -1,0 +1,253 @@
+"""End-to-end machine engine tests: guest execution, faults, MMIO, I/O."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.cycles import Category
+from repro.hyp.devices import ConsoleDevice
+from repro.mem.physmem import PAGE_SIZE
+
+
+class TestComputeAndTimer:
+    def test_compute_charges_cycles(self, machine, cvm_session):
+        result = machine.run(cvm_session, lambda ctx: ctx.compute(123_456))
+        assert result["breakdown"][Category.COMPUTE] >= 123_456
+
+    def test_timer_ticks_cause_world_switches(self, machine, cvm_session):
+        ticks = 3
+        cycles = machine.config.timer_tick_cycles * ticks + 1000
+        machine.run(cvm_session, lambda ctx: ctx.compute(cycles))
+        # Entries: 1 initial + one per tick (leave does an exit too).
+        assert cvm_session.cvm.entry_count >= ticks
+        assert cvm_session.cvm.exit_count >= ticks
+
+    def test_normal_vm_ticks_do_not_touch_the_sm(self, machine, normal_session):
+        cycles = machine.config.timer_tick_cycles * 3
+        result = machine.run(normal_session, lambda ctx: ctx.compute(cycles))
+        assert Category.SM_LOGIC not in result["breakdown"]
+        assert result["breakdown"][Category.HYP_LOGIC] > 0
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self, machine, cvm_session):
+        base = cvm_session.layout.dram_base
+
+        def workload(ctx):
+            ctx.store(base + 0x123000, 0xFEEDFACE)
+            return ctx.load(base + 0x123000)
+
+        result = machine.run(cvm_session, workload)
+        assert result["workload_result"] == 0xFEEDFACE
+
+    def test_bulk_bytes_roundtrip(self, machine, cvm_session):
+        base = cvm_session.layout.dram_base
+        payload = bytes(range(256)) * 64  # 16 KB, crosses pages
+
+        def workload(ctx):
+            ctx.write_bytes(base + 0x200F00, payload)  # unaligned start
+            return ctx.read_bytes(base + 0x200F00, len(payload))
+
+        result = machine.run(cvm_session, workload)
+        assert result["workload_result"] == payload
+
+    def test_faults_resolved_by_sm_without_exit(self, machine, cvm_session):
+        """Private-page faults must not bounce through the hypervisor."""
+        base = cvm_session.layout.dram_base
+
+        def workload(ctx):
+            for i in range(10):
+                ctx.store(base + (20 << 20) + i * PAGE_SIZE, i)
+
+        exits_before = cvm_session.cvm.exit_count
+        machine.run(cvm_session, workload)
+        # Only the final halt exit (plus possibly a timer) -- not 10 faults.
+        assert cvm_session.cvm.exit_count - exits_before <= 2
+
+    def test_normal_vm_faults_handled_by_kvm(self, machine, normal_session):
+        base = normal_session.layout.dram_base
+        machine.run(normal_session, lambda ctx: ctx.store(base + 0x5000, 1))
+        assert normal_session.normal_vm.fault_count == 1
+
+    def test_tlb_hit_after_first_touch(self, machine, cvm_session):
+        base = cvm_session.layout.dram_base
+
+        def workload(ctx):
+            ctx.store(base + 0x300000, 1)
+            hits_before = machine.translator.tlb.hits
+            ctx.load(base + 0x300000)
+            return machine.translator.tlb.hits - hits_before
+
+        result = machine.run(cvm_session, workload)
+        assert result["workload_result"] == 1
+
+    def test_image_contents_visible_to_guest(self, machine):
+        session = machine.launch_confidential_vm(image=b"BOOTMAGIC" + bytes(7))
+
+        def workload(ctx):
+            return ctx.read_bytes(session.layout.dram_base, 9)
+
+        assert machine.run(session, workload)["workload_result"] == b"BOOTMAGIC"
+
+
+class TestMmio:
+    def test_cvm_mmio_store_and_load(self, machine, cvm_session):
+        console = ConsoleDevice(0x1000_0000)
+        machine.hypervisor.devices.add(console)
+
+        def workload(ctx):
+            for byte in b"zion":
+                ctx.mmio_write(0x1000_0000 + ConsoleDevice.DATA, byte)
+            return ctx.mmio_read(0x1000_0000 + ConsoleDevice.STATUS)
+
+        result = machine.run(cvm_session, workload)
+        assert bytes(console.output) == b"zion"
+        assert result["workload_result"] == 1
+
+    def test_cvm_mmio_goes_through_world_switch(self, machine, cvm_session):
+        machine.hypervisor.devices.add(ConsoleDevice(0x1000_0000))
+        exits_before = cvm_session.cvm.exit_count
+        machine.run(cvm_session, lambda ctx: ctx.mmio_write(0x1000_0000, 0x41))
+        assert cvm_session.cvm.exit_count - exits_before >= 2  # mmio + halt
+        assert machine.hypervisor.mmio_exits == 1
+
+    def test_normal_vm_mmio_skips_the_sm(self, machine, normal_session):
+        console = ConsoleDevice(0x1000_0000)
+        machine.hypervisor.devices.add(console)
+        result = machine.run(normal_session, lambda ctx: ctx.mmio_write(0x1000_0000, 0x42))
+        assert bytes(console.output) == b"\x42"
+        assert Category.SM_LOGIC not in result["breakdown"]
+
+    def test_cvm_mmio_costs_more_than_normal(self):
+        def workload(ctx):
+            for _ in range(10):
+                ctx.mmio_write(0x1000_0000, 1)
+
+        costs = {}
+        for kind in ("cvm", "normal"):
+            machine = Machine(MachineConfig())
+            machine.hypervisor.devices.add(ConsoleDevice(0x1000_0000))
+            if kind == "cvm":
+                session = machine.launch_confidential_vm(image=b"x")
+            else:
+                session = machine.launch_normal_vm()
+            result = machine.run(session, workload)
+            costs[kind] = result["cycles"]
+        assert costs["cvm"] > costs["normal"]
+
+
+class TestSmServices:
+    def test_attestation_from_guest(self, machine, cvm_session):
+        def workload(ctx):
+            return ctx.attestation_report(b"my-nonce")
+
+        report = machine.run(cvm_session, workload)["workload_result"]
+        assert machine.monitor.attestation.verify_report(report)
+        assert report.report_data == b"my-nonce"
+
+    def test_random_from_guest(self, machine, cvm_session):
+        result = machine.run(cvm_session, lambda ctx: ctx.get_random(32))
+        assert len(result["workload_result"]) == 32
+
+    def test_sm_services_refused_to_normal_vm(self, machine, normal_session):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            machine.run(normal_session, lambda ctx: ctx.get_random(8))
+
+
+class TestVirtioEndToEnd:
+    def test_cvm_block_io_roundtrip(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        machine.attach_virtio_block(session)
+
+        def workload(ctx):
+            blk = ctx.blk_driver()
+            blk.write(0, b"confidential-file" + bytes(512 - 17))
+            return blk.read(0, 512)
+
+        result = machine.run(session, workload)
+        assert result["workload_result"][:17] == b"confidential-file"
+
+    def test_normal_vm_block_io_roundtrip(self, machine):
+        session = machine.launch_normal_vm()
+        machine.attach_virtio_block(session)
+
+        def workload(ctx):
+            blk = ctx.blk_driver()
+            blk.write(8, b"normal-file" + bytes(512 - 11))
+            return blk.read(8, 512)
+
+        result = machine.run(session, workload)
+        assert result["workload_result"][:11] == b"normal-file"
+
+    def test_cvm_net_echo(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        net = machine.attach_virtio_net(session)
+        net.host_handler = lambda frame, header: [b"echo:" + bytes(frame)]
+
+        def workload(ctx):
+            driver = ctx.net_driver()
+            driver.post_rx_buffers(4)
+            driver.send(b"hello")
+            return driver.recv()
+
+        result = machine.run(session, workload)
+        assert result["workload_result"] == b"echo:hello"
+
+    def test_block_request_costs_two_exits(self, machine):
+        """One kick exit plus one blocking wait for the completion IRQ."""
+        session = machine.launch_confidential_vm(image=b"x")
+        machine.attach_virtio_block(session)
+
+        def workload(ctx):
+            blk = ctx.blk_driver()
+            blk.write(0, bytes(512))  # warm up mappings
+            exits_before = session.cvm.exit_count
+            blk.write(1, bytes(512))
+            return session.cvm.exit_count - exits_before
+
+        result = machine.run(session, workload)
+        assert result["workload_result"] == 2
+
+    def test_wfi_host_work_cycle(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        net = machine.attach_virtio_net(session)
+
+        def host_work(machine_, session_):
+            net.host_deliver(b"wakeup-frame")
+            return True
+
+        session.host_work = host_work
+
+        def workload(ctx):
+            driver = ctx.net_driver()
+            driver.post_rx_buffers(2)
+            frame = driver.recv()
+            while frame is None:
+                ctx.wfi()
+                ctx.deliver_pending_irqs()
+                frame = driver.recv()
+            return frame
+
+        result = machine.run(session, workload)
+        assert result["workload_result"] == b"wakeup-frame"
+
+
+class TestSessionManagement:
+    def test_session_cannot_nest(self, machine, cvm_session):
+        from repro.errors import ConfigurationError
+
+        def workload(ctx):
+            with pytest.raises(ConfigurationError):
+                machine._enter_guest(cvm_session)
+
+        machine.run(cvm_session, workload)
+
+    def test_session_reusable_after_run(self, machine, cvm_session):
+        machine.run(cvm_session, lambda ctx: ctx.compute(100))
+        result = machine.run(cvm_session, lambda ctx: ctx.compute(100))
+        assert result["cycles"] > 0
+
+    def test_run_result_breakdown_covers_total(self, machine, cvm_session):
+        result = machine.run(cvm_session, lambda ctx: ctx.compute(5000))
+        assert sum(result["breakdown"].values()) == result["cycles"]

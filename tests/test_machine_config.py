@@ -1,0 +1,94 @@
+"""Machine configuration variants: knobs change behaviour coherently."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.errors import ConfigurationError
+
+
+class TestTimerPeriod:
+    def test_shorter_ticks_mean_more_switches(self):
+        counts = {}
+        for period in (250_000, 1_000_000):
+            machine = Machine(MachineConfig(timer_tick_cycles=period))
+            session = machine.launch_confidential_vm(image=b"x")
+            machine.run(session, lambda ctx: ctx.compute(4_000_000))
+            counts[period] = session.cvm.exit_reasons.get("timer", 0)
+        assert counts[250_000] > counts[1_000_000] * 2
+
+    def test_shorter_ticks_raise_cvm_overhead(self):
+        """The overhead driver is switch frequency: shorter slices mean
+        more per-switch cost per unit of work (sub-linear in the period
+        because fewer hot pages get re-touched between closer flushes)."""
+        from repro.hyp.devices import ConsoleDevice
+        from repro.workloads.cpu import CONSOLE_GPA, cpu_bound_workload
+        from repro.workloads.profiles import RV8_PROFILES
+
+        profile = RV8_PROFILES["qsort"]
+
+        def overhead(period):
+            cycles = {}
+            for kind in ("normal", "cvm"):
+                machine = Machine(MachineConfig(timer_tick_cycles=period))
+                machine.hypervisor.devices.add(ConsoleDevice(CONSOLE_GPA))
+                session = (
+                    machine.launch_confidential_vm(image=b"x")
+                    if kind == "cvm"
+                    else machine.launch_normal_vm()
+                )
+                run = machine.run(session, cpu_bound_workload(profile, 10_000_000))
+                cycles[kind] = run["workload_result"]["cycles"]
+            return (cycles["cvm"] - cycles["normal"]) / cycles["normal"]
+
+        assert overhead(250_000) > overhead(1_000_000) * 1.4
+
+
+class TestPlatformShape:
+    def test_hart_count_respected(self):
+        machine = Machine(MachineConfig(hart_count=2))
+        assert len(machine.harts) == 2
+        assert machine.clint.hart_count == 2
+
+    def test_dram_size_bounds_everything(self):
+        machine = Machine(MachineConfig(dram_size=256 << 20, initial_pool_bytes=8 << 20))
+        assert machine.dram.size == 256 << 20
+        session = machine.launch_confidential_vm(image=b"small" * 100)
+        machine.run(session, lambda ctx: ctx.compute(1000))
+
+    def test_tlb_capacity_plumbed(self):
+        machine = Machine(MachineConfig(tlb_capacity=16))
+        assert machine.translator.tlb.capacity == 16
+
+    def test_zero_initial_pool_defers_to_first_expansion(self):
+        machine = Machine(MachineConfig(initial_pool_bytes=0))
+        assert machine.monitor.pool.regions == []
+        # The first CVM creation needs metadata -> stage-3-style expansion
+        # must happen via the connected hypervisor.
+        from repro.sm.alloc import PoolExhausted
+
+        with pytest.raises(PoolExhausted):
+            machine.monitor.ecall_create_cvm()
+
+    def test_config_is_frozen(self):
+        import dataclasses
+
+        config = MachineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.hart_count = 8
+
+
+class TestCostOverrides:
+    def test_custom_cost_table_changes_measurements(self):
+        import dataclasses
+
+        from repro.cycles import DEFAULT_COSTS
+
+        slow = dataclasses.replace(DEFAULT_COSTS, trap_to_m=10_000)
+        machine = Machine(MachineConfig(costs=slow))
+        session = machine.launch_confidential_vm(image=b"x")
+        cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+        ws = machine.monitor.world_switch
+        ws.enter_cvm(machine.hart, cvm, vcpu)
+        with machine.ledger.span() as span:
+            ws.exit_to_normal(machine.hart, cvm, vcpu, {"kind": "timer", "cause": 7})
+        assert span.cycles > 10_000

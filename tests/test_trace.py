@@ -1,0 +1,112 @@
+"""Event tracer: hooking, ordering, queries, detach."""
+
+import pytest
+
+from repro.trace import Tracer
+
+
+@pytest.fixture
+def traced(machine):
+    session = machine.launch_confidential_vm(image=b"traced" * 100)
+    tracer = Tracer(machine)
+    return machine, session, tracer
+
+
+def test_records_world_switches_in_order(traced):
+    machine, session, tracer = traced
+    machine.run(session, lambda ctx: ctx.compute(2_500_000))
+    kinds = [event.kind for event in tracer.events]
+    assert kinds[0] == "cvm_enter"
+    # Strict alternation: every exit is followed by an enter (timer ticks)
+    # except the final halt.
+    exits = tracer.of_kind("cvm_exit")
+    enters = tracer.of_kind("cvm_enter")
+    assert len(enters) == len(exits)  # final halt has no re-enter... but
+    # the initial enter has no preceding exit -- they balance.
+
+
+def test_exit_detail_carries_reason(traced):
+    machine, session, tracer = traced
+    machine.run(session, lambda ctx: ctx.compute(1_500_000))
+    reasons = {event.detail["reason"] for event in tracer.of_kind("cvm_exit")}
+    assert "timer" in reasons
+    assert "halt" in reasons
+
+
+def test_fault_events_with_stage(traced):
+    machine, session, tracer = traced
+    base = session.layout.dram_base + (8 << 20)
+    machine.run(session, lambda ctx: ctx.store(base, 1))
+    faults = tracer.of_kind("fault")
+    assert faults
+    assert faults[0].detail["path"] == "sm"
+    assert faults[0].detail["stage"] in ("PAGE_CACHE", "NEW_BLOCK")
+    assert faults[0].detail["cycles"] > 0
+
+
+def test_ecall_events_name_the_function(machine):
+    tracer = Tracer(machine)
+    machine.monitor.ecall_create_cvm()
+    functions = [event.detail["function"] for event in tracer.of_kind("ecall")]
+    assert "ecall_create_cvm" in functions
+
+
+def test_timestamps_monotonic(traced):
+    machine, session, tracer = traced
+    machine.run(session, lambda ctx: ctx.compute(2_000_000))
+    cycles = [event.cycle for event in tracer.events]
+    assert cycles == sorted(cycles)
+
+
+def test_exit_latencies_measurable(traced):
+    machine, session, tracer = traced
+    machine.run(session, lambda ctx: ctx.compute(2_500_000))
+    latencies = tracer.exit_latencies()
+    assert latencies
+    # A timer-exit -> re-enter round trip is several thousand cycles.
+    assert all(2_000 < latency < 60_000 for latency in latencies)
+
+
+def test_detach_stops_recording(traced):
+    machine, session, tracer = traced
+    machine.run(session, lambda ctx: ctx.compute(100))
+    count = len(tracer.events)
+    tracer.detach()
+    machine.run(session, lambda ctx: ctx.compute(100))
+    assert len(tracer.events) == count
+
+
+def test_context_manager_detaches(machine):
+    session = machine.launch_confidential_vm(image=b"x")
+    with Tracer(machine) as tracer:
+        machine.run(session, lambda ctx: ctx.compute(50))
+        inside = len(tracer.events)
+        assert inside > 0
+    machine.run(session, lambda ctx: ctx.compute(50))
+    assert len(tracer.events) == inside
+
+
+def test_limit_bounds_memory(machine):
+    session = machine.launch_confidential_vm(image=b"x")
+    tracer = Tracer(machine, limit=3)
+    machine.run(session, lambda ctx: ctx.compute(5_000_000))
+    assert len(tracer.events) == 3
+
+
+def test_timeline_renders(traced):
+    machine, session, tracer = traced
+    machine.run(session, lambda ctx: ctx.compute(100))
+    text = tracer.timeline()
+    assert "cvm_enter" in text
+
+
+def test_fault_observer_chaining(machine):
+    """The tracer must not clobber a pre-installed fault observer."""
+    seen = []
+    machine.fault_observer = lambda kind, stage, cycles: seen.append(kind)
+    tracer = Tracer(machine)
+    session = machine.launch_confidential_vm(image=b"x")
+    base = session.layout.dram_base + (8 << 20)
+    machine.run(session, lambda ctx: ctx.store(base, 1))
+    assert seen == ["sm"]
+    assert tracer.of_kind("fault")

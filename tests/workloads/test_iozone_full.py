@@ -1,0 +1,71 @@
+"""The full IOZone pass set (write/rewrite/read/reread/random)."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.workloads.iozone import iozone_full_workload
+
+
+def _run(file_bytes, record_bytes, cache_bytes, kind="cvm"):
+    machine = Machine(MachineConfig())
+    if kind == "cvm":
+        session = machine.launch_confidential_vm(image=b"iozf" * 64)
+    else:
+        session = machine.launch_normal_vm()
+    machine.attach_virtio_block(session)
+    result = machine.run(
+        session, iozone_full_workload(file_bytes, record_bytes, cache_bytes)
+    )
+    return result["workload_result"]
+
+
+class TestCachedFile:
+    def test_all_passes_present(self):
+        results = _run(256 << 10, 32 << 10, cache_bytes=4 << 20)
+        assert set(results) == {
+            "write", "rewrite", "read", "reread", "random_read", "random_write"
+        }
+        assert all(cycles > 0 for cycles in results.values())
+
+    def test_cached_passes_cost_roughly_the_same(self):
+        """A fully cached file never touches the device: every pass is
+        memory-speed, sequential or random alike."""
+        results = _run(256 << 10, 32 << 10, cache_bytes=4 << 20)
+        baseline = results["write"]
+        for op, cycles in results.items():
+            assert cycles < baseline * 1.5, op
+
+
+class TestUncachedFile:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return _run(4 << 20, 8 << 10, cache_bytes=1 << 20)
+
+    def test_random_read_slower_than_sequential(self, results):
+        """Losing readahead batching costs device round trips."""
+        assert results["random_read"] > results["read"]
+
+    def test_random_write_slower_than_sequential(self, results):
+        assert results["random_write"] > results["write"]
+
+    def test_reread_matches_read_when_thrashing(self, results):
+        """Sequential LRU thrash: the reread streams again, same cost."""
+        ratio = results["reread"] / results["read"]
+        assert 0.8 < ratio < 1.2
+
+    def test_rewrite_pays_writeback_again(self, results):
+        ratio = results["rewrite"] / results["write"]
+        assert 0.8 < ratio < 1.2
+
+
+class TestConfidentialOverheadShape:
+    def test_random_io_overhead_exceeds_sequential(self):
+        """More device requests per byte -> more exits -> more overhead."""
+        kinds = {}
+        for kind in ("normal", "cvm"):
+            kinds[kind] = _run(4 << 20, 8 << 10, cache_bytes=1 << 20, kind=kind)
+
+        def overhead(op):
+            return (kinds["cvm"][op] - kinds["normal"][op]) / kinds["normal"][op]
+
+        assert overhead("random_read") > overhead("read")

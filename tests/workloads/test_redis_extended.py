@@ -1,0 +1,116 @@
+"""Extended Redis commands: deletion, existence, strings, TTLs."""
+
+import pytest
+
+from repro.workloads.redis import RedisServer, resp_array
+
+
+@pytest.fixture
+def server():
+    return RedisServer()
+
+
+def run(server, *parts):
+    return server.execute([p.encode() if isinstance(p, str) else p for p in parts])
+
+
+class TestDeletionExistence:
+    def test_del_string(self, server):
+        run(server, "SET", "k", "v")
+        assert run(server, "DEL", "k") == b":1\r\n"
+        assert run(server, "GET", "k") == b"$-1\r\n"
+
+    def test_del_multiple_mixed_types(self, server):
+        run(server, "SET", "s", "v")
+        run(server, "RPUSH", "l", "a")
+        run(server, "SADD", "st", "x")
+        assert run(server, "DEL", "s", "l", "st", "missing") == b":3\r\n"
+
+    def test_exists(self, server):
+        assert run(server, "EXISTS", "nope") == b":0\r\n"
+        run(server, "HSET", "h", "f", "v")
+        assert run(server, "EXISTS", "h") == b":1\r\n"
+
+
+class TestStringExtras:
+    def test_append_creates_and_extends(self, server):
+        assert run(server, "APPEND", "k", "ab") == b":2\r\n"
+        assert run(server, "APPEND", "k", "cd") == b":4\r\n"
+        assert run(server, "GET", "k") == b"$4\r\nabcd\r\n"
+
+    def test_getset(self, server):
+        assert run(server, "GETSET", "k", "new") == b"$-1\r\n"
+        assert run(server, "GETSET", "k", "newer") == b"$3\r\nnew\r\n"
+
+
+class TestCollectionsExtras:
+    def test_llen(self, server):
+        assert run(server, "LLEN", "l") == b":0\r\n"
+        run(server, "RPUSH", "l", "a", "b")
+        assert run(server, "LLEN", "l") == b":2\r\n"
+
+    def test_scard(self, server):
+        run(server, "SADD", "s", "a", "b", "c")
+        assert run(server, "SCARD", "s") == b":3\r\n"
+
+    def test_hget_hgetall(self, server):
+        run(server, "HSET", "h", "f1", "v1")
+        run(server, "HSET", "h", "f2", "v2")
+        assert run(server, "HGET", "h", "f1") == b"$2\r\nv1\r\n"
+        assert run(server, "HGET", "h", "nope") == b"$-1\r\n"
+        assert run(server, "HGETALL", "h") == resp_array([b"f1", b"v1", b"f2", b"v2"])
+
+
+class TestExpiry:
+    def test_expire_and_ttl_follow_the_clock(self):
+        now = [100.0]
+        server = RedisServer(clock=lambda: now[0])
+        run(server, "SET", "k", "v")
+        assert run(server, "EXPIRE", "k", "10") == b":1\r\n"
+        assert run(server, "TTL", "k") == b":10\r\n"
+        now[0] = 105.0
+        assert run(server, "TTL", "k") == b":5\r\n"
+        now[0] = 110.0
+        assert run(server, "GET", "k") == b"$-1\r\n"
+        assert run(server, "TTL", "k") == b":-2\r\n"
+
+    def test_expire_on_missing_key(self, server):
+        assert run(server, "EXPIRE", "nope", "10") == b":0\r\n"
+
+    def test_ttl_without_expiry(self, server):
+        run(server, "SET", "k", "v")
+        assert run(server, "TTL", "k") == b":-1\r\n"
+
+    def test_del_clears_expiry(self):
+        now = [0.0]
+        server = RedisServer(clock=lambda: now[0])
+        run(server, "SET", "k", "v")
+        run(server, "EXPIRE", "k", "10")
+        run(server, "DEL", "k")
+        run(server, "SET", "k", "fresh")
+        now[0] = 100.0
+        assert run(server, "GET", "k") == b"$5\r\nfresh\r\n"
+
+    def test_expiry_driven_by_simulated_time_in_guest(self, machine):
+        """EXPIRE inside a CVM counts machine cycles, not wall clock."""
+        from repro.workloads.redis import (
+            resp_decode_command,
+            resp_encode_command,
+        )
+
+        session = machine.launch_confidential_vm(image=b"x")
+
+        def workload(ctx):
+            clock_hz = machine.config.clock_hz
+            server = RedisServer(clock=lambda: ctx.ledger.total / clock_hz)
+            server.execute([b"SET", b"session", b"token"])
+            server.execute([b"EXPIRE", b"session", b"1"])  # 1 simulated second
+            ctx.compute(clock_hz // 2)  # 0.5 s
+            alive = server.execute([b"GET", b"session"])
+            ctx.compute(clock_hz)  # 1.5 s total
+            dead = server.execute([b"GET", b"session"])
+            return alive, dead
+
+        alive, dead = machine.run(session, workload)["workload_result"]
+        assert alive == b"$5\r\ntoken\r\n"
+        assert dead == b"$-1\r\n"
