@@ -1,9 +1,13 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-full experiments examples clean
+.PHONY: install verify test bench bench-full experiments examples clean
 
 install:
 	pip install -e .
+
+# The exact tier-1 gate CI runs: works from a clean checkout, no install.
+verify:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
 
 test:
 	$(PYTHON) -m pytest tests/

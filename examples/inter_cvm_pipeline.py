@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Inter-CVM pipeline: a producer CVM streams records to a consumer CVM
+over an SM-brokered channel the hypervisor can never read.
+
+Demonstrates the channel extension end to end:
+
+1. two CVMs launch from measured images; each knows (out of band) the
+   launch measurement it expects of its peer;
+2. the producer CREATEs a channel -- the SM carves a window out of the
+   secure pool and maps it into the producer's private stage-2 half;
+3. the consumer CONNECTs -- admitted only because its measurement matches
+   what the producer declared (and vice versa);
+4. records stream through a shared-memory ring: no bounce copies, no MMIO
+   exits; each batch is announced by a doorbell (SM notify ECALL -> CLINT
+   IPI -> scheduler wake -> VSEI in the peer);
+5. the hypervisor's attempts to read the window PMP-fault, a third CVM is
+   refused, and CLOSE scrubs the window before the pool reuses it.
+"""
+
+from repro import Machine, MachineConfig, TrapRaised
+from repro.isa.privilege import PrivilegeMode
+from repro.machine import WAIT_DOORBELL
+from repro.ipc.endpoint import ChannelEndpoint, ChannelError
+from repro.sm.abi import EXT_ZION_GUEST, GuestFunction, SbiError
+
+RECORDS = [f"record-{i:04d}:{'x' * 48}".encode() for i in range(32)]
+WINDOW_SIZE = 64 * 1024
+WINDOW_OFFSET = 0x0200_0000
+
+
+def main():
+    machine = Machine(MachineConfig())
+    producer = machine.launch_confidential_vm(image=b"pipeline-producer" * 64)
+    consumer = machine.launch_confidential_vm(image=b"pipeline-consumer" * 64)
+    print(f"producer CVM {producer.cvm.cvm_id}: "
+          f"{producer.cvm.measurement.hex()[:16]}...")
+    print(f"consumer CVM {consumer.cvm.cvm_id}: "
+          f"{consumer.cvm.measurement.hex()[:16]}...")
+
+    # Each side pins the measurement it will accept from the other.
+    box = {}
+
+    def producer_workload(ctx):
+        window = ctx.session.layout.dram_base + WINDOW_OFFSET
+        endpoint = ChannelEndpoint.create(
+            ctx, window, WINDOW_SIZE, consumer.cvm.measurement
+        )
+        box["channel_id"] = endpoint.channel_id
+        yield  # let the consumer connect
+        for record in RECORDS:
+            while not endpoint.send(record):
+                yield WAIT_DOORBELL  # out of credits: wait for the consumer
+        endpoint.send(b"EOF")
+        return {"sent": len(RECORDS), "doorbells": endpoint.doorbells_rung}
+
+    def consumer_workload(ctx):
+        while "channel_id" not in box:
+            yield
+        window = ctx.session.layout.dram_base + WINDOW_OFFSET
+        endpoint = ChannelEndpoint.connect(
+            ctx, box["channel_id"], window, producer.cvm.measurement
+        )
+        received = []
+        while True:
+            message = endpoint.recv()
+            if message is None:
+                ctx.deliver_pending_irqs()
+                yield WAIT_DOORBELL
+                continue
+            if message == b"EOF":
+                break
+            received.append(message)
+        return {"received": len(received), "intact": received == RECORDS}
+
+    results = machine.run_concurrent([
+        (producer, producer_workload),
+        (consumer, consumer_workload),
+    ])
+    sent = results[producer]["sent"]
+    got = results[consumer]
+    print(f"\npipeline moved {sent} records, intact={got['intact']}, "
+          f"{results['cycles']:,} cycles "
+          f"({results[producer]['doorbells']} doorbells rung)")
+    assert got["intact"] and got["received"] == sent
+
+    # --- the window is live, yet never the hypervisor's to read -----------
+    channel = next(iter(machine.monitor.channels.channels.values()))
+    machine.hart.mode = PrivilegeMode.HS
+    try:
+        machine.bus.cpu_read(machine.hart, channel.window_pa, 16)
+        raise AssertionError("hypervisor read the channel window?!")
+    except TrapRaised as trap:
+        print(f"hypervisor read of the window -> {trap.cause.name} (PMP)")
+
+    # --- a third CVM cannot join the live channel -------------------------
+    intruder = machine.launch_confidential_vm(image=b"intruder" * 64)
+
+    def intruder_workload(ctx):
+        try:
+            ChannelEndpoint.connect(
+                ctx, channel.channel_id,
+                ctx.session.layout.dram_base + WINDOW_OFFSET,
+                producer.cvm.measurement,
+            )
+        except ChannelError as refusal:
+            return str(refusal)
+        raise AssertionError("third CVM connected to a private channel?!")
+
+    print(f"third CVM connect -> {machine.run(intruder, intruder_workload)['workload_result']}")
+
+    # --- teardown scrubs the plaintext ------------------------------------
+    def close_workload(ctx):
+        error, _ = ctx.sbi_ecall(
+            EXT_ZION_GUEST, int(GuestFunction.CHANNEL_CLOSE), channel.channel_id
+        )
+        assert error == SbiError.SUCCESS
+        return error
+
+    machine.run(producer, close_workload)
+    window_bytes = machine.dram.read(channel.window_pa, channel.window_size)
+    assert RECORDS[0] not in window_bytes and window_bytes == bytes(WINDOW_SIZE)
+    print("window scrubbed on close: no plaintext survives in the pool")
+    print("inter-CVM pipeline OK")
+
+
+if __name__ == "__main__":
+    main()

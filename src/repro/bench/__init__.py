@@ -1,4 +1,4 @@
-"""Experiment harness: runners and paper-reference data for E1-E7.
+"""Experiment harness: runners and paper-reference data for E1-E8.
 
 Each experiment in DESIGN.md's per-experiment index has a runner here
 returning structured results, plus the paper's reported numbers
@@ -19,6 +19,7 @@ from repro.bench.macro import (
     run_redis_experiment,
     run_rv8_experiment,
 )
+from repro.bench.ipc import run_ipc_experiment
 from repro.bench.tables import format_comparison_table
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "run_coremark_experiment",
     "run_redis_experiment",
     "run_iozone_experiment",
+    "run_ipc_experiment",
     "format_comparison_table",
 ]

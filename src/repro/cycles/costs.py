@@ -111,6 +111,12 @@ class CycleCosts:
     #: Fixed SM fault-path cost common to all three allocation stages.
     #: Measurement-calibrated: M-mode handler with cold caches at 100 MHz.
     sm_fault_fixed: int = 29470
+    #: Per-ECALL SM bookkeeping on the inter-CVM channel paths (channel
+    #: table lookup, endpoint/state validation, measurement compare).
+    channel_bookkeeping: int = 700
+    #: Posting one channel doorbell inside the SM (peer hvip update plus
+    #: the CLINT MMIO store that raises the IPI).
+    channel_doorbell: int = 450
 
     # --- hypervisor (Normal mode) internals ------------------------------
     #: Number of hypervisor-context CSRs swapped on a world switch.

@@ -74,6 +74,13 @@ class Hypervisor:
         #: time and used for PMP-checked page-table edits in callbacks
         #: that are not passed a hart explicitly.
         self.hart = None
+        #: Wake callback installed by the machine's concurrent executor:
+        #: called with a CVM id when an inter-CVM channel doorbell targets
+        #: one of its vCPUs, so a blocked session re-enters the rotation.
+        self.scheduler_wake = None
+        #: Channel doorbells observed by the host scheduler (statistics;
+        #: the host never learns more than "a doorbell rang").
+        self.doorbell_wakeups = 0
 
     # ------------------------------------------------------------------
     # Normal VM management (the conventional KVM path)
@@ -111,6 +118,18 @@ class Hypervisor:
     def sched_tick(self) -> None:
         """Scheduler pass on a timer tick."""
         self.ledger.charge(Category.HYP_LOGIC, self.costs.hyp_sched_pass)
+
+    def on_channel_doorbell(self, cvm_id: int) -> None:
+        """An inter-CVM doorbell IPI landed: run a scheduler pass and wake
+        the target CVM's session if it was blocked waiting for one.
+
+        The SM already injected the VSEI; the host only sees the CLINT
+        kick and reschedules -- it cannot observe the channel contents.
+        """
+        self.doorbell_wakeups += 1
+        self.ledger.charge(Category.HYP_LOGIC, self.costs.hyp_sched_pass)
+        if self.scheduler_wake is not None:
+            self.scheduler_wake(cvm_id)
 
     def handle_normal_stage2_fault(self, hart, vm: NormalVm, gpa: int) -> int:
         """KVM's stage-2 fault path: allocate a frame, map it, return PA.

@@ -15,10 +15,16 @@ from collections import deque
 
 
 class RoundRobinScheduler:
-    """Rotates runnable sessions; removes them as their workloads finish."""
+    """Rotates runnable sessions; removes them as their workloads finish.
+
+    Sessions may *block* (e.g. waiting on an inter-CVM channel doorbell):
+    a blocked item leaves the rotation until :meth:`wake` returns it, so
+    the executor never burns switch cycles polling a sleeping vCPU.
+    """
 
     def __init__(self):
         self._queue: deque = deque()
+        self._blocked: set = set()
 
     def add(self, item) -> None:
         """Append a runnable item to the rotation."""
@@ -26,6 +32,11 @@ class RoundRobinScheduler:
 
     def __len__(self):
         return len(self._queue)
+
+    @property
+    def blocked_count(self) -> int:
+        """Number of sessions parked waiting for a wake event."""
+        return len(self._blocked)
 
     def next(self):
         """The next runnable item (moves it to the tail)."""
@@ -35,8 +46,32 @@ class RoundRobinScheduler:
         self._queue.append(item)
         return item
 
+    def block(self, item) -> None:
+        """Park a runnable item until it is woken (no-op if absent)."""
+        try:
+            self._queue.remove(item)
+        except ValueError:
+            return
+        self._blocked.add(item)
+
+    def wake(self, item) -> bool:
+        """Return a blocked item to the rotation; True if it was parked."""
+        if item in self._blocked:
+            self._blocked.discard(item)
+            self._queue.append(item)
+            return True
+        return False
+
+    def wake_all(self) -> int:
+        """Unpark every blocked item (the executor's progress backstop)."""
+        woken = len(self._blocked)
+        for item in tuple(self._blocked):
+            self.wake(item)
+        return woken
+
     def remove(self, item) -> None:
         """Drop an item from the rotation (no-op if absent)."""
+        self._blocked.discard(item)
         try:
             self._queue.remove(item)
         except ValueError:

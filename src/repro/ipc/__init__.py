@@ -1,0 +1,13 @@
+"""Guest-side inter-CVM IPC: SPSC rings over SM-brokered channel windows.
+
+The SM half lives in :mod:`repro.sm.channel`; this package is what a
+guest kernel links: :class:`~repro.ipc.ring.SpscRing` (a cycle-accounted
+single-producer/single-consumer byte ring with credit-based backpressure)
+and :class:`~repro.ipc.endpoint.ChannelEndpoint` (the ECALL plumbing plus
+a bidirectional pair of rings over one window).
+"""
+
+from repro.ipc.endpoint import ChannelEndpoint
+from repro.ipc.ring import SpscRing
+
+__all__ = ["ChannelEndpoint", "SpscRing"]

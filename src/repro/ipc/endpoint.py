@@ -1,0 +1,157 @@
+"""Guest endpoint of an SM-brokered inter-CVM channel.
+
+Wraps the four ``ZION_GUEST`` channel ECALLs and lays a *bidirectional*
+pair of :class:`~repro.ipc.ring.SpscRing` over the window: the creator
+transmits on the lower half and receives on the upper half, the connector
+the mirror image -- each ring therefore has exactly one producer and one
+consumer, which is what makes the lock-free counters sound.
+
+All control transfers use the raw register-convention ABI
+(:meth:`GuestContext.sbi_ecall`), so the endpoint pays the same trap /
+dispatch / translate costs a real guest kernel would; the measurement a
+side expects of its peer crosses as a 32-byte (GPA, implicit-length)
+buffer like every other SBI byte argument.
+"""
+
+from __future__ import annotations
+
+from repro.mem.physmem import PAGE_SIZE
+from repro.sm.abi import EXT_ZION_GUEST, GuestFunction, SbiError
+from repro.ipc.ring import SpscRing
+
+
+class ChannelError(RuntimeError):
+    """A channel ECALL returned an SBI error."""
+
+    def __init__(self, operation: str, error: int):
+        self.operation = operation
+        self.error = error
+        try:
+            name = SbiError(error).name
+        except ValueError:
+            name = str(error)
+        super().__init__(f"channel {operation} failed: {name}")
+
+
+class ChannelEndpoint:
+    """One guest's end of a channel (rings + ECALL plumbing)."""
+
+    def __init__(self, ctx, channel_id: int, window_gpa: int, size: int,
+                 is_creator: bool):
+        self.ctx = ctx
+        self.channel_id = channel_id
+        self.window_gpa = window_gpa
+        self.window_size = size
+        self.is_creator = is_creator
+        half = size // 2
+        lower = SpscRing(ctx, window_gpa, half)
+        upper = SpscRing(ctx, window_gpa + half, size - half)
+        self.tx, self.rx = (lower, upper) if is_creator else (upper, lower)
+        self.closed = False
+        #: Doorbells this endpoint has rung (ablation statistic).
+        self.doorbells_rung = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, ctx, window_gpa: int, size: int,
+               expected_peer_measurement: bytes,
+               scratch_gpa: int | None = None) -> "ChannelEndpoint":
+        """CHANNEL_CREATE: allocate the window and become the creator."""
+        meas_gpa = cls._stage_measurement(
+            ctx, expected_peer_measurement, scratch_gpa, window_gpa + size
+        )
+        error, channel_id = ctx.sbi_ecall(
+            EXT_ZION_GUEST, int(GuestFunction.CHANNEL_CREATE),
+            window_gpa, size, meas_gpa,
+        )
+        if error != SbiError.SUCCESS:
+            raise ChannelError("create", error)
+        return cls(ctx, channel_id, window_gpa, size, is_creator=True)
+
+    @classmethod
+    def connect(cls, ctx, channel_id: int, window_gpa: int,
+                expected_creator_measurement: bytes,
+                scratch_gpa: int | None = None) -> "ChannelEndpoint":
+        """CHANNEL_CONNECT: join; the SM returns the window size."""
+        meas_gpa = cls._stage_measurement(
+            ctx, expected_creator_measurement, scratch_gpa, window_gpa - PAGE_SIZE
+        )
+        error, size = ctx.sbi_ecall(
+            EXT_ZION_GUEST, int(GuestFunction.CHANNEL_CONNECT),
+            channel_id, window_gpa, meas_gpa,
+        )
+        if error != SbiError.SUCCESS:
+            raise ChannelError("connect", error)
+        return cls(ctx, channel_id, window_gpa, size, is_creator=False)
+
+    @staticmethod
+    def _stage_measurement(ctx, measurement: bytes, scratch_gpa: int | None,
+                           default_gpa: int) -> int:
+        """Put the expected-measurement bytes where the SM can read them.
+
+        The default scratch page sits just outside the window (the page
+        after it for the creator, before it for the connector), so the
+        demand-fault that backs it never lands inside the window range the
+        SM requires to be unmapped.
+        """
+        if len(measurement) != 32:
+            raise ValueError("expected measurement must be 32 bytes")
+        gpa = default_gpa if scratch_gpa is None else scratch_gpa
+        ctx.write_bytes(gpa, measurement)
+        return gpa
+
+    # -- data path ---------------------------------------------------------
+
+    def send(self, payload: bytes, notify: bool = True) -> bool:
+        """Enqueue one message; rings the peer's doorbell on success."""
+        self._require_open()
+        if not self.tx.try_send(payload):
+            return False
+        if notify:
+            self.ring_doorbell()
+        return True
+
+    #: Credit-return doorbell watermark: after a recv, ring the peer only
+    #: if the ring was this full (the producer may be throttled).  A ring
+    #: with plenty of credits left needs no wakeup -- saving the notify
+    #: ECALL on every uncontended receive is most of the fast path.
+    CREDIT_WATERMARK = 4
+
+    def recv(self, notify: bool = True) -> bytes | None:
+        """Dequeue one message; doorbells the peer if it may be throttled."""
+        self._require_open()
+        throttled = self.rx.credits() < self.rx.capacity // self.CREDIT_WATERMARK
+        payload = self.rx.try_recv()
+        if payload is not None and notify and throttled:
+            self.ring_doorbell()
+        return payload
+
+    def credits(self) -> int:
+        """Free bytes on the transmit ring (credit-based backpressure)."""
+        return self.tx.credits()
+
+    def ring_doorbell(self) -> int:
+        """CHANNEL_NOTIFY: raise the peer's VSEI through the SM."""
+        error, pending = self.ctx.sbi_ecall(
+            EXT_ZION_GUEST, int(GuestFunction.CHANNEL_NOTIFY), self.channel_id
+        )
+        if error != SbiError.SUCCESS:
+            raise ChannelError("notify", error)
+        self.doorbells_rung += 1
+        return pending
+
+    def close(self) -> None:
+        """CHANNEL_CLOSE: unmap both sides, scrub, free (idempotent)."""
+        if self.closed:
+            return
+        error, _ = self.ctx.sbi_ecall(
+            EXT_ZION_GUEST, int(GuestFunction.CHANNEL_CLOSE), self.channel_id
+        )
+        if error != SbiError.SUCCESS:
+            raise ChannelError("close", error)
+        self.closed = True
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise ChannelError("use-after-close", int(SbiError.INVALID_PARAM))

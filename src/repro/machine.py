@@ -41,6 +41,10 @@ from repro.sm.pmp_plan import PmpController
 #: GPR index the synthetic MMIO instructions use (a0).
 _MMIO_GPR_INDEX = 10
 
+#: Yielded by a concurrent workload to park its session until an
+#: inter-CVM channel doorbell targets its CVM (see :meth:`Machine.run_concurrent`).
+WAIT_DOORBELL = object()
+
 
 @dataclasses.dataclass(frozen=True)
 class MachineConfig:
@@ -345,6 +349,12 @@ class Machine:
         CVM through the SM's short path, a normal VM through KVM), the
         hypervisor's scheduler runs, and the incoming VM enters.
 
+        A workload may yield :data:`WAIT_DOORBELL` to park itself until an
+        inter-CVM channel doorbell targets its CVM (the hypervisor's
+        :meth:`on_channel_doorbell` wakes it); if every remaining workload
+        is parked, all are woken -- the single-hart executor's progress
+        backstop against lost doorbells.
+
         Returns ``{session: workload_return_value}`` plus the total cycle
         span under the key ``"cycles"``.
         """
@@ -352,24 +362,44 @@ class Machine:
 
         scheduler = RoundRobinScheduler()
         state = {}
+        wake_keys: dict[int, int] = {}  # cvm_id -> session key
         for session, workload in pairs:
             ctx = GuestContext(self, session)
             state[id(session)] = (session, workload(ctx))
             scheduler.add(id(session))
+            if session.kind is VmKind.CONFIDENTIAL:
+                wake_keys[session.cvm.cvm_id] = id(session)
+
+        def wake(cvm_id: int) -> None:
+            key = wake_keys.get(cvm_id)
+            if key is not None:
+                scheduler.wake(key)
+
+        previous_wake = self.hypervisor.scheduler_wake
+        self.hypervisor.scheduler_wake = wake
         results = {}
-        with self.ledger.span() as span:
-            while len(scheduler):
-                key = scheduler.next()
-                session, generator = state[key]
-                self._enter_guest(session)
-                try:
-                    next(generator)
-                except StopIteration as stop:
-                    results[session] = stop.value
-                    scheduler.remove(key)
-                finally:
-                    self._leave_guest(session)
-                self.hypervisor.sched_tick()
+        try:
+            with self.ledger.span() as span:
+                while len(scheduler) or scheduler.blocked_count:
+                    key = scheduler.next()
+                    if key is None:
+                        scheduler.wake_all()
+                        continue
+                    session, generator = state[key]
+                    yielded = None
+                    self._enter_guest(session)
+                    try:
+                        yielded = next(generator)
+                    except StopIteration as stop:
+                        results[session] = stop.value
+                        scheduler.remove(key)
+                    finally:
+                        self._leave_guest(session)
+                    self.hypervisor.sched_tick()
+                    if yielded is WAIT_DOORBELL:
+                        scheduler.block(key)
+        finally:
+            self.hypervisor.scheduler_wake = previous_wake
         results["cycles"] = span.cycles
         return results
 

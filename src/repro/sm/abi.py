@@ -64,6 +64,10 @@ class GuestFunction(enum.IntEnum):
     GET_RANDOM = 2
     RECLAIM_PAGES = 3
     SHARE_REQUEST = 4
+    CHANNEL_CREATE = 5
+    CHANNEL_CONNECT = 6
+    CHANNEL_NOTIFY = 7
+    CHANNEL_CLOSE = 8
 
 
 class EcallInterface:
@@ -186,6 +190,26 @@ class EcallInterface:
         if fid == GuestFunction.SHARE_REQUEST:
             gpa = monitor.ecall_guest_share_request(hart, cvm.cvm_id, vcpu_id, args[0])
             return SbiError.SUCCESS, gpa
+        if fid == GuestFunction.CHANNEL_CREATE:
+            window_gpa, size, meas_gpa = args[0], args[1], args[2]
+            expected_peer = self._read_guest_buffer(cvm, meas_gpa, 32)
+            channel_id = monitor.ecall_channel_create(
+                cvm.cvm_id, window_gpa, size, expected_peer
+            )
+            return SbiError.SUCCESS, channel_id
+        if fid == GuestFunction.CHANNEL_CONNECT:
+            channel_id, window_gpa, meas_gpa = args[0], args[1], args[2]
+            expected_creator = self._read_guest_buffer(cvm, meas_gpa, 32)
+            window_size = monitor.ecall_channel_connect(
+                cvm.cvm_id, channel_id, window_gpa, expected_creator
+            )
+            return SbiError.SUCCESS, window_size
+        if fid == GuestFunction.CHANNEL_NOTIFY:
+            pending = monitor.ecall_channel_notify(cvm.cvm_id, args[0])
+            return SbiError.SUCCESS, pending
+        if fid == GuestFunction.CHANNEL_CLOSE:
+            monitor.ecall_channel_close(cvm.cvm_id, args[0])
+            return SbiError.SUCCESS, 0
         return SbiError.NOT_SUPPORTED, 0
 
     # -- guest buffer plumbing ---------------------------------------------------
@@ -193,10 +217,14 @@ class EcallInterface:
     def _guest_pa(self, cvm, gpa: int, length: int) -> int:
         """Translate a guest buffer GPA through the CVM's own stage-2 root.
 
-        The SM refuses buffers that are unmapped or that cross a page
-        boundary (like real SBI implementations, callers pass page-local
-        buffers).
+        The SM refuses buffers that are unmapped, misaligned, or that
+        cross a page boundary (like real SBI implementations, callers
+        pass 8-byte-aligned, page-local buffers).
         """
+        if gpa % 8:
+            raise EcallError("guest buffer address must be 8-byte aligned")
+        if length < 0:
+            raise EcallError("guest buffer length must be non-negative")
         if gpa // PAGE_SIZE != (gpa + max(length, 1) - 1) // PAGE_SIZE:
             raise EcallError("guest buffer crosses a page boundary")
         try:

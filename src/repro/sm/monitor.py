@@ -13,11 +13,12 @@ from __future__ import annotations
 import itertools
 
 from repro.cycles import Category, CycleCosts, CycleLedger
-from repro.errors import EcallError, SecurityViolation
+from repro.errors import EcallError, SecurityViolation, TrapRaised
 from repro.isa.traps import AccessType
 from repro.mem.physmem import PAGE_SIZE
 from repro.sm.alloc import AllocStage, HierarchicalAllocator, PoolExhausted
 from repro.sm.attestation import AttestationReport, AttestationService
+from repro.sm.channel import ChannelManager
 from repro.sm.cvm import ConfidentialVm, CvmState, GpaLayout
 from repro.sm.secmem import OWNER_SM, SecureMemoryPool
 from repro.sm.share import SplitTableManager
@@ -93,6 +94,7 @@ class SecureMonitor:
             use_shared_vcpu=use_shared_vcpu,
             long_path=long_path,
         )
+        self.channels = ChannelManager(self)
         self.cvms: dict[int, ConfidentialVm] = {}
         self._allocators: dict[int, HierarchicalAllocator] = {}
         self._cvm_blocks: dict[int, list] = {}
@@ -250,6 +252,9 @@ class SecureMonitor:
         cvm.require_state(
             CvmState.CREATED, CvmState.FINALIZED, CvmState.RUNNING, CvmState.SUSPENDED
         )
+        # Channels die with either endpoint: unmap from both sides and
+        # scrub the windows *before* the CVM's own frames are recycled.
+        self.channels.on_cvm_destroyed(cvm_id)
         for page in self.pool.pages_owned_by(cvm.cvm_id):
             self.dram.zero_range(page, PAGE_SIZE)
             self.ledger.charge(Category.SM_LOGIC, self.costs.zero_bytes(PAGE_SIZE))
@@ -356,15 +361,63 @@ class SecureMonitor:
                     f"reclaim of non-private GPA {page_gpa:#x} refused"
                 )
             try:
-                pa = self.split.unmap_private(cvm, page_gpa)
-            except Exception:
+                mapped_pa, _flags = self.translator.gpa_to_pa(
+                    cvm.hgatp_root, page_gpa, AccessType.LOAD
+                )
+            except TrapRaised:
                 continue  # not mapped: nothing to reclaim
+            # A guest must not reclaim frames it does not own -- in
+            # particular channel-window frames mapped at one of its GPAs,
+            # which would steal the window into its private page cache.
+            if self.pool.owner_of(mapped_pa & ~(PAGE_SIZE - 1)) != cvm.cvm_id:
+                raise SecurityViolation(
+                    f"reclaim of GPA {page_gpa:#x} refused: frame not owned "
+                    f"by CVM {cvm.cvm_id}"
+                )
+            pa = self.split.unmap_private(cvm, page_gpa)
             self.dram.zero_range(pa, PAGE_SIZE)
             self.ledger.charge(Category.SM_LOGIC, self.costs.zero_bytes(PAGE_SIZE))
             cache._pages.append(pa)
             self.translator.sfence_page(cvm.vmid, page_gpa)
             reclaimed += 1
         return reclaimed
+
+    # ------------------------------------------------------------------
+    # Inter-CVM secure channels (extension beyond the paper)
+    # ------------------------------------------------------------------
+
+    def ecall_channel_create(
+        self, cvm_id: int, window_gpa: int, size: int, expected_peer_measurement: bytes
+    ) -> int:
+        """Create a channel endpoint; returns the new channel ID."""
+        self._charge_ecall()
+        cvm = self._cvm(cvm_id)
+        cvm.require_state(CvmState.FINALIZED, CvmState.RUNNING)
+        return self.channels.create(cvm, window_gpa, size, expected_peer_measurement)
+
+    def ecall_channel_connect(
+        self, cvm_id: int, channel_id: int, window_gpa: int,
+        expected_creator_measurement: bytes,
+    ) -> int:
+        """Join an existing channel; returns the window size in bytes."""
+        self._charge_ecall()
+        cvm = self._cvm(cvm_id)
+        cvm.require_state(CvmState.FINALIZED, CvmState.RUNNING)
+        return self.channels.connect(
+            cvm, channel_id, window_gpa, expected_creator_measurement
+        )
+
+    def ecall_channel_notify(self, cvm_id: int, channel_id: int) -> int:
+        """Ring the peer's doorbell; returns its pending doorbell count."""
+        self._charge_ecall()
+        cvm = self._cvm(cvm_id)
+        return self.channels.notify(cvm, channel_id)
+
+    def ecall_channel_close(self, cvm_id: int, channel_id: int) -> None:
+        """Close a channel from either endpoint (unmap, scrub, recycle)."""
+        self._charge_ecall()
+        cvm = self._cvm(cvm_id)
+        self.channels.close(cvm, channel_id)
 
     # ------------------------------------------------------------------
     # Stage-2 guest-page fault handling (paper IV-C/IV-D)

@@ -142,6 +142,66 @@ class SplitTableManager:
             Category.PAGE_WALK, self._costs.page_walk_level * self._sv39x4.levels
         )
 
+    # -- SM-side channel mapping -------------------------------------------
+
+    def map_channel(
+        self,
+        cvm: ConfidentialVm,
+        gpa: int,
+        pa: int,
+        alloc_table,
+        owner_token,
+    ) -> None:
+        """Map one page of an SM-brokered channel window into a CVM.
+
+        Channel windows live in the secure pool but are owned by the
+        *channel* (``owner_token``), not by either endpoint CVM -- the one
+        deliberate exception to per-CVM frame disjointness, and it is
+        SM-arbitrated: only this path may map a channel-owned frame, only
+        into the private region, and never executable.
+        """
+        if not cvm.layout.in_private_dram(gpa):
+            raise SecurityViolation(
+                f"channel GPA {gpa:#x} is not in CVM {cvm.cvm_id}'s private DRAM"
+            )
+        owner = self._pool.owner_of(pa & ~(PAGE_SIZE - 1))
+        self._ledger.charge(Category.SM_LOGIC, self._costs.ownership_check)
+        if owner != owner_token:
+            raise SecurityViolation(
+                f"frame {pa:#x} is owned by {owner!r}, not channel {owner_token!r}"
+            )
+        flags = PTE_R | PTE_W | PTE_U | PTE_D  # data window: never executable
+        tables = self._sv39x4.map(
+            _RawAccessor(self._dram), cvm.hgatp_root, gpa, pa, flags, alloc_table
+        )
+        for table in tables:
+            if not self._pool.contains(table, PAGE_SIZE):
+                raise SecurityViolation(
+                    "private page-table page allocated outside the secure pool"
+                )
+        self._ledger.charge(
+            Category.PAGE_WALK, self._costs.page_walk_level * self._sv39x4.levels
+        )
+
+    def unmap_channel(self, cvm: ConfidentialVm, gpa: int, owner_token) -> int:
+        """Remove one channel-window mapping; returns the frame.
+
+        Validates the frame really belongs to the channel being torn down
+        so a confused teardown can never unmap (and later scrub) a frame
+        the CVM owns privately.
+        """
+        pa = self._sv39x4.unmap(_RawAccessor(self._dram), cvm.hgatp_root, gpa)
+        owner = self._pool.owner_of(pa & ~(PAGE_SIZE - 1))
+        self._ledger.charge(Category.SM_LOGIC, self._costs.ownership_check)
+        if owner != owner_token:
+            raise SecurityViolation(
+                f"channel teardown of frame {pa:#x} owned by {owner!r}"
+            )
+        self._ledger.charge(
+            Category.PAGE_WALK, self._costs.page_walk_level * self._sv39x4.levels
+        )
+        return pa
+
     def unmap_private(self, cvm: ConfidentialVm, gpa: int) -> int:
         """Remove a private mapping; returns the frame for scrubbing."""
         pa = self._sv39x4.unmap(_RawAccessor(self._dram), cvm.hgatp_root, gpa)

@@ -16,6 +16,7 @@ costs nothing when absent.
 from __future__ import annotations
 
 import dataclasses
+import sys
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,6 +39,9 @@ class Tracer:
         self.machine = machine
         self.limit = limit
         self.events: list[TraceEvent] = []
+        #: Events discarded after the limit was reached -- a non-zero
+        #: value means the timeline is a prefix, not the whole run.
+        self.dropped = 0
         self._unhook = []
         self._attach()
 
@@ -46,6 +50,7 @@ class Tracer:
     def record(self, kind: str, **detail) -> None:
         """Append one event at the current ledger timestamp."""
         if len(self.events) >= self.limit:
+            self.dropped += 1
             return
         self.events.append(
             TraceEvent(cycle=self.machine.ledger.total, kind=kind, detail=detail)
@@ -103,10 +108,12 @@ class Tracer:
         monitor = machine.monitor
         original_charge = monitor._charge_ecall
         # ECALL tracing piggybacks on the monitor's common charge point.
-        import inspect
+        # sys._getframe is ~1000x cheaper than inspect.stack() (which
+        # resolves source lines for the whole call stack); tracing every
+        # ECALL must not distort the very runs it is observing.
 
         def traced_charge():
-            caller = inspect.stack()[1].function
+            caller = sys._getframe(1).f_code.co_name
             self.record("ecall", function=caller)
             original_charge()
 
@@ -133,8 +140,13 @@ class Tracer:
         return [event for event in self.events if event.kind == kind]
 
     def timeline(self) -> str:
-        """Human-readable event dump."""
-        return "\n".join(repr(event) for event in self.events)
+        """Human-readable event dump (notes any events lost to the limit)."""
+        lines = [repr(event) for event in self.events]
+        if self.dropped:
+            lines.append(
+                f"... {self.dropped} events dropped (limit={self.limit})"
+            )
+        return "\n".join(lines)
 
     def exit_latencies(self) -> list:
         """Cycle gaps between each cvm_exit and the following cvm_enter."""

@@ -23,6 +23,7 @@ from repro.workloads.redis import (
 )
 from repro.workloads.iozone import IozoneResult, iozone_run
 from repro.workloads.memstress import sequential_write_stress
+from repro.workloads.pingpong import pingpong_client, pingpong_server
 
 __all__ = [
     "CpuWorkloadProfile",
@@ -37,4 +38,6 @@ __all__ = [
     "IozoneResult",
     "iozone_run",
     "sequential_write_stress",
+    "pingpong_client",
+    "pingpong_server",
 ]

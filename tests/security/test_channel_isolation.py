@@ -1,0 +1,173 @@
+"""Attacks against inter-CVM channel windows (extension of paper IV-C).
+
+The adversaries: the compromised hypervisor and its DMA devices, plus a
+*third* CVM trying to worm into a channel between two others.  The window
+lives in the secure pool, so host/DMA paths must PMP/IOPMP-fault on it,
+and stage-2 disjointness must hold for every non-endpoint.
+"""
+
+import pytest
+
+from repro.errors import SecurityViolation, TrapRaised
+from repro.isa.privilege import PrivilegeMode
+from repro.isa.traps import ExceptionCause
+from repro.mem.pagetable import Sv39x4
+from repro.mem.physmem import PAGE_SIZE
+from repro.sm.abi import EXT_ZION_GUEST, GuestFunction, SbiError
+
+IMAGE = b"channel-isolation-guest" * 32
+WINDOW = 4 * PAGE_SIZE
+OFFSET = 0x200_0000
+
+
+@pytest.fixture
+def channel_env(machine):
+    a = machine.launch_confidential_vm(image=IMAGE)
+    b = machine.launch_confidential_vm(image=IMAGE)
+    channel_id = machine.monitor.ecall_channel_create(
+        a.cvm.cvm_id, a.layout.dram_base + OFFSET, WINDOW, b.cvm.measurement
+    )
+    machine.monitor.ecall_channel_connect(
+        b.cvm.cvm_id, channel_id, b.layout.dram_base + OFFSET, a.cvm.measurement
+    )
+    channel = machine.monitor.channels.channels[channel_id]
+    # The hypervisor is "running": Normal mode, pool closed.
+    machine.hart.mode = PrivilegeMode.HS
+    return machine, a, b, channel
+
+
+class TestHostCannotReachTheWindow:
+    def test_hypervisor_read_of_window_faults(self, channel_env):
+        machine, _a, _b, channel = channel_env
+        with pytest.raises(TrapRaised) as excinfo:
+            machine.bus.cpu_read(machine.hart, channel.window_pa, 16)
+        assert excinfo.value.cause == ExceptionCause.LOAD_ACCESS_FAULT
+
+    def test_hypervisor_write_of_window_faults(self, channel_env):
+        machine, _a, _b, channel = channel_env
+        with pytest.raises(TrapRaised) as excinfo:
+            machine.bus.cpu_write(machine.hart, channel.window_pa, b"inject")
+        assert excinfo.value.cause == ExceptionCause.STORE_ACCESS_FAULT
+
+    def test_every_window_page_host_inaccessible(self, channel_env):
+        machine, _a, _b, channel = channel_env
+        for offset in range(0, channel.window_size, PAGE_SIZE):
+            with pytest.raises(TrapRaised):
+                machine.bus.cpu_read(machine.hart, channel.window_pa + offset, 8)
+
+    def test_dma_to_window_faults(self, channel_env):
+        machine, _a, _b, channel = channel_env
+        with pytest.raises(TrapRaised):
+            machine.bus.dma_read(source_id=3, addr=channel.window_pa, size=64)
+        with pytest.raises(TrapRaised):
+            machine.bus.dma_write(
+                source_id=3, addr=channel.window_pa, data=b"\xff" * 64
+            )
+
+
+class TestThirdCvmExclusion:
+    def test_third_cvm_stage2_never_reaches_window(self, channel_env):
+        machine, _a, _b, channel = channel_env
+        third = machine.launch_confidential_vm(image=IMAGE)
+        # Touch lots of its memory so its tables are fully populated.
+        window_pages = {
+            channel.window_pa + off for off in range(0, channel.window_size, PAGE_SIZE)
+        }
+
+        class Raw:
+            def read_u64(self, addr):
+                return machine.dram.read_u64(addr)
+
+        mapped = {
+            pa for _va, pa, _f, _l in Sv39x4().iter_leaves(Raw(), third.cvm.hgatp_root)
+        }
+        assert not mapped & window_pages
+
+    def test_third_cvm_connect_denied_via_abi(self, channel_env):
+        """A CONNECTED channel refuses any further join, DENIED on the wire."""
+        machine, a, _b, channel = channel_env
+        third = machine.launch_confidential_vm(image=IMAGE)
+        meas_gpa = third.layout.dram_base + 0x5000
+
+        def workload(ctx):
+            ctx.write_bytes(meas_gpa, a.cvm.measurement)
+            return ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.CHANNEL_CONNECT),
+                channel.channel_id, third.layout.dram_base + OFFSET, meas_gpa,
+            )
+
+        error, _ = machine.run(third, workload)["workload_result"]
+        assert error == SbiError.DENIED
+
+    def test_third_cvm_close_denied(self, channel_env):
+        machine, _a, _b, channel = channel_env
+        third = machine.launch_confidential_vm(image=IMAGE)
+        with pytest.raises(SecurityViolation):
+            machine.monitor.ecall_channel_close(third.cvm.cvm_id, channel.channel_id)
+
+    def test_sm_refuses_mapping_window_privately(self, channel_env):
+        """map_private can never hand a channel frame to a single CVM."""
+        machine, a, _b, channel = channel_env
+        with pytest.raises(SecurityViolation):
+            machine.monitor.split.map_private(
+                a.cvm, a.layout.dram_base + (64 << 20), channel.window_pa,
+                machine.monitor._alloc_table_page,
+            )
+
+
+class TestMeasurementGating:
+    def test_mismatched_measurement_denied_on_the_wire(self, machine):
+        creator = machine.launch_confidential_vm(image=IMAGE)
+        imposter = machine.launch_confidential_vm(image=b"imposter-image" * 40)
+        channel_id = machine.monitor.ecall_channel_create(
+            creator.cvm.cvm_id, creator.layout.dram_base + OFFSET, WINDOW,
+            b"\x42" * 32,  # nobody's measurement
+        )
+        meas_gpa = imposter.layout.dram_base + 0x5000
+
+        def workload(ctx):
+            ctx.write_bytes(meas_gpa, creator.cvm.measurement)
+            return ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.CHANNEL_CONNECT),
+                channel_id, imposter.layout.dram_base + OFFSET, meas_gpa,
+            )
+
+        error, _ = machine.run(imposter, workload)["workload_result"]
+        assert error == SbiError.DENIED
+
+
+class TestScrubOnTeardown:
+    def test_no_plaintext_survives_close(self, machine):
+        a = machine.launch_confidential_vm(image=IMAGE)
+        b = machine.launch_confidential_vm(image=IMAGE)
+        secret = b"CHANNEL-SECRET-0123456789ABCDEF!"
+        channel_id = machine.monitor.ecall_channel_create(
+            a.cvm.cvm_id, a.layout.dram_base + OFFSET, WINDOW, b.cvm.measurement
+        )
+        machine.monitor.ecall_channel_connect(
+            b.cvm.cvm_id, channel_id, b.layout.dram_base + OFFSET, a.cvm.measurement
+        )
+        channel = machine.monitor.channels.channels[channel_id]
+        for offset in range(0, WINDOW, len(secret) * 4):
+            machine.dram.write(channel.window_pa + offset, secret)
+        window_pa = channel.window_pa
+        block = channel.block
+        machine.monitor.ecall_channel_close(a.cvm.cvm_id, channel_id)
+        # Not one secret byte anywhere in the (whole) recycled block.
+        assert secret not in machine.dram.read(block.base, block.size)
+        assert machine.dram.read(window_pa, WINDOW) == bytes(WINDOW)
+
+    def test_no_plaintext_survives_destroy(self, machine):
+        a = machine.launch_confidential_vm(image=IMAGE)
+        b = machine.launch_confidential_vm(image=IMAGE)
+        secret = b"DESTROY-PATH-SECRET-abcdefgh1234"
+        channel_id = machine.monitor.ecall_channel_create(
+            a.cvm.cvm_id, a.layout.dram_base + OFFSET, WINDOW, b.cvm.measurement
+        )
+        machine.monitor.ecall_channel_connect(
+            b.cvm.cvm_id, channel_id, b.layout.dram_base + OFFSET, a.cvm.measurement
+        )
+        channel = machine.monitor.channels.channels[channel_id]
+        machine.dram.write(channel.window_pa, secret)
+        machine.monitor.ecall_destroy(b.cvm.cvm_id)
+        assert machine.dram.read(channel.window_pa, WINDOW) == bytes(WINDOW)

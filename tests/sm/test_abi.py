@@ -182,3 +182,100 @@ class TestGuestAbi:
 
         error, _ = machine.run(session, workload)["workload_result"]
         assert error == SbiError.INVALID_PARAM
+
+
+class TestAbiErrorPaths:
+    """Hostile register values must come back as error codes, not tracebacks
+    (the SM's dispatch surface is reachable by both adversaries)."""
+
+    def test_unknown_extension_from_guest_mode(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+
+        def workload(ctx):
+            return ctx.sbi_ecall(0xDEAD_BEEF, 0)
+
+        error, _ = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.NOT_SUPPORTED
+
+    def test_unknown_guest_function(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+
+        def workload(ctx):
+            return ctx.sbi_ecall(EXT_ZION_GUEST, 99)
+
+        error, _ = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.NOT_SUPPORTED
+
+    def test_every_host_function_denied_from_guest_mode(self, machine):
+        machine.launch_confidential_vm(image=b"x")
+        machine.hart.mode = PrivilegeMode.VS
+        for fid in HostFunction:
+            error, _ = machine.ecall_interface.call(
+                machine.hart, EXT_ZION_HOST, int(fid), [0] * 6
+            )
+            assert error == SbiError.DENIED, fid
+
+    def test_every_guest_function_denied_from_host_mode(self, machine):
+        machine.hart.mode = PrivilegeMode.HS
+        for fid in GuestFunction:
+            error, _ = machine.ecall_interface.call(
+                machine.hart, EXT_ZION_GUEST, int(fid), [0] * 6
+            )
+            assert error == SbiError.DENIED, fid
+
+    def test_misaligned_buffer_address_rejected(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        buf = session.layout.dram_base + 0x5004  # 4-byte aligned only
+
+        def workload(ctx):
+            ctx.touch(buf)
+            return ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.GET_RANDOM), buf, 16
+            )
+
+        error, _ = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.INVALID_PARAM
+
+    def test_negative_buffer_length_rejected(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        buf = session.layout.dram_base + 0x5000
+
+        def workload(ctx):
+            ctx.touch(buf)
+            return ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.GET_RANDOM), buf, -8
+            )
+
+        error, _ = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.INVALID_PARAM
+
+    def test_misaligned_channel_measurement_buffer_rejected(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+        window = session.layout.dram_base + 0x200_0000
+        meas = session.layout.dram_base + 0x5001  # unaligned scratch
+
+        def workload(ctx):
+            ctx.touch(meas & ~0xFFF)
+            return ctx.sbi_ecall(
+                EXT_ZION_GUEST, int(GuestFunction.CHANNEL_CREATE),
+                window, 4 * 4096, meas,
+            )
+
+        error, _ = machine.run(session, workload)["workload_result"]
+        assert error == SbiError.INVALID_PARAM
+
+    def test_garbage_channel_ids_never_raise(self, machine):
+        session = machine.launch_confidential_vm(image=b"x")
+
+        def workload(ctx):
+            results = []
+            for fid in (GuestFunction.CHANNEL_NOTIFY, GuestFunction.CHANNEL_CLOSE):
+                for channel_id in (-1, 0, 2**63):
+                    error, _ = ctx.sbi_ecall(EXT_ZION_GUEST, int(fid), channel_id)
+                    results.append(error)
+            return results
+
+        results = machine.run(session, workload)["workload_result"]
+        assert all(
+            error in (SbiError.INVALID_PARAM, SbiError.DENIED) for error in results
+        )

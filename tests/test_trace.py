@@ -110,3 +110,31 @@ def test_fault_observer_chaining(machine):
     machine.run(session, lambda ctx: ctx.store(base, 1))
     assert seen == ["sm"]
     assert tracer.of_kind("fault")
+
+
+def test_ecall_hook_names_nested_callers(machine):
+    """The frame-based caller lookup must name the direct caller of
+    _charge_ecall even when the ECALL is reached through a deep guest
+    call chain (sbi dispatch -> monitor method)."""
+    tracer = Tracer(machine)
+    session = machine.launch_confidential_vm(image=b"deep" * 100)
+    machine.run(session, lambda ctx: ctx.sbi_ecall(0x5A4E_0002, 2, 8))
+    functions = [event.detail["function"] for event in tracer.of_kind("ecall")]
+    assert "ecall_get_random" in functions
+    assert all(func.startswith("ecall_") for func in functions)
+
+
+def test_dropped_counter_and_timeline_note(machine):
+    session = machine.launch_confidential_vm(image=b"x")
+    tracer = Tracer(machine, limit=3)
+    machine.run(session, lambda ctx: ctx.compute(5_000_000))
+    assert len(tracer.events) == 3
+    assert tracer.dropped > 0
+    assert f"{tracer.dropped} events dropped" in tracer.timeline()
+
+
+def test_nothing_dropped_reports_clean_timeline(traced):
+    machine, session, tracer = traced
+    machine.run(session, lambda ctx: ctx.compute(100))
+    assert tracer.dropped == 0
+    assert "dropped" not in tracer.timeline()
