@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install verify test bench bench-full experiments examples clean
+.PHONY: install verify test bench bench-full experiments faults examples clean
 
 install:
 	pip install -e .
@@ -23,6 +23,10 @@ bench-full:
 
 experiments:
 	$(PYTHON) -m repro experiments
+
+# Seeded adversarial fault-injection campaign (see docs/INTERNALS.md §10).
+faults:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro faults --seeds 25
 
 examples:
 	@for script in examples/*.py; do \

@@ -7,7 +7,10 @@ Commands:
 - ``demo`` — the quickstart flow with a stats report;
 - ``attack`` — run the hypervisor attack battery and report outcomes;
 - ``stats`` — launch a CVM, run a mixed workload, print the full
-  machine statistics snapshot.
+  machine statistics snapshot;
+- ``faults [--seeds N | --seed K] [--rounds R] [-v]`` — run the
+  seeded fault-injection campaign (``--seed K`` deterministically
+  replays one seed, the failing-seed repro workflow).
 """
 
 from __future__ import annotations
@@ -140,6 +143,38 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import run_campaign
+
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(range(args.seeds))
+    failures = 0
+    total_injected = 0
+    for result in run_campaign(seeds, rounds=args.rounds):
+        print(result.summary())
+        total_injected += result.injected
+        if args.verbose or not result.ok:
+            print(f"  plan: {result.plan}")
+            for line in result.contained:
+                print(f"  contained: {line}")
+            for line in result.crashes:
+                print(f"  CRASH: {line}")
+            for line in result.violations:
+                print(f"  VIOLATION: {line}")
+        if not result.ok:
+            failures += 1
+    print(
+        f"campaign: {len(seeds)} seeds, {total_injected} faults injected, "
+        f"{failures} failing"
+    )
+    if failures:
+        print("replay a failing seed deterministically with: "
+              "python -m repro faults --seed K -v")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -157,6 +192,16 @@ def main(argv=None) -> int:
     attack.set_defaults(func=_cmd_attack)
     stats = sub.add_parser("stats", help="run a mixed workload, dump stats")
     stats.set_defaults(func=_cmd_stats)
+    faults = sub.add_parser("faults", help="seeded fault-injection campaign")
+    faults.add_argument("--seeds", type=int, default=25,
+                        help="run seeds 0..N-1 (default 25)")
+    faults.add_argument("--seed", type=int, default=None,
+                        help="replay exactly this seed (repro workflow)")
+    faults.add_argument("--rounds", type=int, default=8,
+                        help="ping-pong rounds per seed (default 8)")
+    faults.add_argument("-v", "--verbose", action="store_true",
+                        help="print each seed's plan and outcomes")
+    faults.set_defaults(func=_cmd_faults)
     args = parser.parse_args(argv)
     return args.func(args)
 

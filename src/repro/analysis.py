@@ -33,6 +33,7 @@ def machine_stats(machine) -> dict:
             "misses": tlb.misses,
             "hit_rate": tlb.hits / lookups if lookups else None,
             "flushes": tlb.flushes,
+            "page_flushes": tlb.page_flushes,
         },
         "faults": {
             stage.name.lower(): count

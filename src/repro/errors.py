@@ -36,6 +36,17 @@ class EcallError(ReproError):
     """An SM ECALL was invoked with invalid arguments."""
 
 
+class ChannelCorrupt(ReproError):
+    """Shared channel state failed a consumer-side sanity check.
+
+    Raised when a value read from an inter-CVM channel window (a ring
+    counter or a message length prefix) is inconsistent with what the
+    ring's own invariants allow -- the signature of a corrupted or
+    actively malicious peer.  The reader must treat the channel as dead
+    rather than act on the value (e.g. copy an attacker-chosen length).
+    """
+
+
 class TrapRaised(ReproError):
     """An architectural trap (exception) occurred during an access.
 

@@ -306,11 +306,18 @@ class Hypervisor:
         if cause not in (21, 23):  # not a load/store guest-page fault
             return
         gpa = read("htval")
-        handle = self.cvm_handles[cvm.cvm_id]
+        handle = self.cvm_handles.get(cvm.cvm_id)
+        if handle is None:
+            # An exit for a CVM this host never provisioned (possible only
+            # if the exit fields were corrupted): nothing to service.
+            return
         if handle.layout.in_shared(gpa):
             # The CVM touched shared GPA space the subtree does not map
             # yet; extend the premapped window (no SM involvement at all).
-            self._fix_shared_fault(hart, handle, gpa)
+            if handle.shared_subtrees.get(gpa >> 30) is not None:
+                self._fix_shared_fault(hart, handle, gpa)
+            # No covering subtree: the exit fields describe a fault that
+            # cannot have happened -- drop it rather than crash the host.
             return
         self.mmio_exits += 1
         self.ledger.charge(Category.HYP_LOGIC, self.costs.qemu_mmio_dispatch)

@@ -24,7 +24,9 @@ class RoundRobinScheduler:
 
     def __init__(self):
         self._queue: deque = deque()
-        self._blocked: set = set()
+        # Insertion-ordered (dict keys) so wake_all unparks in block order
+        # -- keeps concurrent runs deterministic for seeded replay.
+        self._blocked: dict = {}
 
     def add(self, item) -> None:
         """Append a runnable item to the rotation."""
@@ -52,18 +54,18 @@ class RoundRobinScheduler:
             self._queue.remove(item)
         except ValueError:
             return
-        self._blocked.add(item)
+        self._blocked[item] = None
 
     def wake(self, item) -> bool:
         """Return a blocked item to the rotation; True if it was parked."""
         if item in self._blocked:
-            self._blocked.discard(item)
+            del self._blocked[item]
             self._queue.append(item)
             return True
         return False
 
     def wake_all(self) -> int:
-        """Unpark every blocked item (the executor's progress backstop)."""
+        """Unpark every blocked item, in the order they blocked."""
         woken = len(self._blocked)
         for item in tuple(self._blocked):
             self.wake(item)
@@ -71,7 +73,7 @@ class RoundRobinScheduler:
 
     def remove(self, item) -> None:
         """Drop an item from the rotation (no-op if absent)."""
-        self._blocked.discard(item)
+        self._blocked.pop(item, None)
         try:
             self._queue.remove(item)
         except ValueError:

@@ -15,12 +15,13 @@ buffer like every other SBI byte argument.
 
 from __future__ import annotations
 
+from repro.errors import ChannelCorrupt, ReproError
 from repro.mem.physmem import PAGE_SIZE
 from repro.sm.abi import EXT_ZION_GUEST, GuestFunction, SbiError
 from repro.ipc.ring import SpscRing
 
 
-class ChannelError(RuntimeError):
+class ChannelError(ReproError):
     """A channel ECALL returned an SBI error."""
 
     def __init__(self, operation: str, error: int):
@@ -48,6 +49,9 @@ class ChannelEndpoint:
         upper = SpscRing(ctx, window_gpa + half, size - half)
         self.tx, self.rx = (lower, upper) if is_creator else (upper, lower)
         self.closed = False
+        #: Set when the peer's shared state failed a sanity check; the
+        #: endpoint fail-stops -- all further data-path calls refuse.
+        self.corrupt = False
         #: Doorbells this endpoint has rung (ablation statistic).
         self.doorbells_rung = 0
 
@@ -106,7 +110,12 @@ class ChannelEndpoint:
     def send(self, payload: bytes, notify: bool = True) -> bool:
         """Enqueue one message; rings the peer's doorbell on success."""
         self._require_open()
-        if not self.tx.try_send(payload):
+        try:
+            sent = self.tx.try_send(payload)
+        except ChannelCorrupt:
+            self.corrupt = True
+            raise
+        if not sent:
             return False
         if notify:
             self.ring_doorbell()
@@ -121,8 +130,14 @@ class ChannelEndpoint:
     def recv(self, notify: bool = True) -> bytes | None:
         """Dequeue one message; doorbells the peer if it may be throttled."""
         self._require_open()
-        throttled = self.rx.credits() < self.rx.capacity // self.CREDIT_WATERMARK
-        payload = self.rx.try_recv()
+        try:
+            throttled = (
+                self.rx.credits() < self.rx.capacity // self.CREDIT_WATERMARK
+            )
+            payload = self.rx.try_recv()
+        except ChannelCorrupt:
+            self.corrupt = True
+            raise
         if payload is not None and notify and throttled:
             self.ring_doorbell()
         return payload
@@ -155,3 +170,8 @@ class ChannelEndpoint:
     def _require_open(self) -> None:
         if self.closed:
             raise ChannelError("use-after-close", int(SbiError.INVALID_PARAM))
+        if self.corrupt:
+            raise ChannelCorrupt(
+                f"channel {self.channel_id} endpoint is fail-stopped after "
+                f"detecting corrupt shared state"
+            )

@@ -20,6 +20,8 @@ point of comparing it against the virtio bounce path.
 
 from __future__ import annotations
 
+from repro.errors import ChannelCorrupt
+
 #: Bytes reserved at the base of the region for the two counters (padded
 #: to a cache line so producer and consumer do not false-share).
 HEADER_SIZE = 64
@@ -63,6 +65,22 @@ class SpscRing:
         """Free bytes the producer may still write without overrunning."""
         return self.capacity - self.used()
 
+    def _checked_used(self, prod: int, cons: int) -> int:
+        """Queued-byte count, validated against the ring's invariants.
+
+        Both counters live in the shared window, so either can hold
+        garbage after peer misbehaviour (torn update, byte flip).  A sane
+        ring always satisfies ``0 <= prod - cons <= capacity``; anything
+        else is :class:`ChannelCorrupt`, never a basis for a copy.
+        """
+        used = prod - cons
+        if used < 0 or used > self.capacity:
+            raise ChannelCorrupt(
+                f"ring counters inconsistent: prod={prod} cons={cons} "
+                f"capacity={self.capacity}"
+            )
+        return used
+
     # -- producer ----------------------------------------------------------
 
     def try_send(self, payload: bytes) -> bool:
@@ -74,7 +92,8 @@ class SpscRing:
                 f"{self.capacity}-byte ring"
             )
         prod = self.prod
-        if need > self.capacity - (prod - self.cons):
+        used = self._checked_used(prod, self.cons)
+        if need > self.capacity - used:
             return False  # out of credits: back-pressure the producer
         frame = len(payload).to_bytes(LENGTH_PREFIX, "little") + payload
         self._write_wrapped(prod, frame)
@@ -86,12 +105,24 @@ class SpscRing:
     # -- consumer ----------------------------------------------------------
 
     def try_recv(self) -> bytes | None:
-        """Dequeue one message, or None if the ring is empty."""
+        """Dequeue one message, or None if the ring is empty.
+
+        Raises :class:`ChannelCorrupt` if the shared counters or the
+        length prefix are inconsistent with the ring invariants -- the
+        prefix is attacker-reachable (it lives in the shared window), so
+        it is clamped against the published byte count before any copy.
+        """
         cons = self.cons
-        if self.prod - cons < LENGTH_PREFIX:
+        used = self._checked_used(self.prod, cons)
+        if used < LENGTH_PREFIX:
             return None
         header = self._read_wrapped(cons, LENGTH_PREFIX)
         length = int.from_bytes(header, "little")
+        if LENGTH_PREFIX + length > used:
+            raise ChannelCorrupt(
+                f"length prefix {length} exceeds published bytes "
+                f"({used - LENGTH_PREFIX} available)"
+            )
         payload = self._read_wrapped(cons + LENGTH_PREFIX, length)
         # Release the credits only after the payload has been copied out.
         self.ctx.store(self.base + _CONS_OFFSET, cons + LENGTH_PREFIX + length)

@@ -19,7 +19,12 @@ from __future__ import annotations
 import dataclasses
 
 from repro.cycles import Category, CycleCosts, CycleLedger, DEFAULT_COSTS
-from repro.errors import ConfigurationError, SecurityViolation, TrapRaised
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SecurityViolation,
+    TrapRaised,
+)
 from repro.hyp.hypervisor import Hypervisor
 from repro.hyp.vm import NormalVm, VmKind
 from repro.isa.hart import Hart
@@ -339,7 +344,7 @@ class Machine:
             "workload_result": result,
         }
 
-    def run_concurrent(self, pairs) -> dict:
+    def run_concurrent(self, pairs, on_error: str = "raise") -> dict:
         """Interleave several VMs' workloads on the hart, round-robin.
 
         ``pairs`` is a list of ``(session, generator_workload)`` where each
@@ -354,6 +359,15 @@ class Machine:
         :meth:`on_channel_doorbell` wakes it); if every remaining workload
         is parked, all are woken -- the single-hart executor's progress
         backstop against lost doorbells.
+
+        ``on_error`` selects what happens when a session raises a typed
+        :class:`~repro.errors.ReproError` (an architectural refusal such
+        as ``SecurityViolation`` or ``ChannelCorrupt``): ``"raise"`` (the
+        default) propagates it, aborting the whole run; ``"contain"``
+        records the exception object as that session's result, drops the
+        session from the rotation, and keeps the other VMs running --
+        the fault-injection campaigns run in this mode, where a typed
+        error is precisely a *contained* fault.
 
         Returns ``{session: workload_return_value}`` plus the total cycle
         span under the key ``"cycles"``.
@@ -387,14 +401,26 @@ class Machine:
                         continue
                     session, generator = state[key]
                     yielded = None
-                    self._enter_guest(session)
                     try:
-                        yielded = next(generator)
-                    except StopIteration as stop:
-                        results[session] = stop.value
+                        self._enter_guest(session)
+                        try:
+                            yielded = next(generator)
+                        except StopIteration as stop:
+                            results[session] = stop.value
+                            scheduler.remove(key)
+                        finally:
+                            self._leave_guest(session)
+                    except ReproError as error:
+                        if on_error != "contain":
+                            raise
+                        # Typed architectural refusal: the session is dead
+                        # but the fault is contained -- record it, drop the
+                        # session, keep every other VM running.
+                        results[session] = error
                         scheduler.remove(key)
-                    finally:
-                        self._leave_guest(session)
+                        session.active = False
+                        if self._active_session is session:
+                            self._active_session = None
                     self.hypervisor.sched_tick()
                     if yielded is WAIT_DOORBELL:
                         scheduler.block(key)

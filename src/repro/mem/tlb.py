@@ -1,10 +1,15 @@
 """A small TLB model.
 
 Caches successful guest-physical translations keyed by ``(vmid, page)``.
-Capacity-bounded with FIFO replacement -- enough fidelity to express the
-performance effect ZION's world switches have (the PMP toggle forces an
-``hfence.gvma``, so a resumed guest re-walks its hot pages), without
-modelling associativity.
+Capacity-bounded with LRU replacement (both ``lookup`` and ``insert``
+refresh an entry's recency, and eviction takes the least recently used)
+-- enough fidelity to express the performance effect ZION's world
+switches have (the PMP toggle forces an ``hfence.gvma``, so a resumed
+guest re-walks its hot pages), without modelling associativity.
+
+Statistics distinguish whole-TLB / per-VMID flushes (``flushes``, the
+``hfence``-scale events the experiments care about) from single-page
+invalidations (``page_flushes``).
 """
 
 from __future__ import annotations
@@ -20,7 +25,10 @@ class Tlb:
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Whole-TLB and per-VMID flushes (hfence.gvma-scale events).
         self.flushes = 0
+        #: Single-page invalidations, counted separately from ``flushes``.
+        self.page_flushes = 0
 
     def lookup(self, vmid: int, vpage: int):
         """Cached (ppage, flags) or ``None``."""
@@ -34,7 +42,7 @@ class Tlb:
         return entry
 
     def insert(self, vmid: int, vpage: int, ppage: int, flags: int) -> None:
-        """Cache a translation, evicting the oldest entry at capacity."""
+        """Cache a translation, evicting the least recently used at capacity."""
         key = (vmid, vpage)
         self._entries[key] = (ppage, flags)
         self._entries.move_to_end(key)
@@ -54,8 +62,9 @@ class Tlb:
         self.flushes += 1
 
     def flush_page(self, vmid: int, vpage: int) -> None:
-        """Drop one page's translation (no-op if absent)."""
+        """Drop one page's translation (counted even if absent)."""
         self._entries.pop((vmid, vpage), None)
+        self.page_flushes += 1
 
     def __len__(self):
         return len(self._entries)

@@ -24,6 +24,7 @@ import enum
 from repro.errors import EcallError, SecurityViolation, TrapRaised
 from repro.isa.privilege import PrivilegeMode
 from repro.mem.physmem import PAGE_SIZE
+from repro.sm.alloc import PoolExhausted
 
 
 class SbiError(enum.IntEnum):
@@ -107,6 +108,10 @@ class EcallInterface:
             return SbiError.INVALID_PARAM, 0
         except SecurityViolation:
             return SbiError.DENIED, 0
+        except PoolExhausted:
+            # The hypervisor could not (or would not) donate memory; the
+            # call fails cleanly instead of unwinding the simulator.
+            return SbiError.FAILED, 0
         except (KeyError, ValueError):
             return SbiError.INVALID_PARAM, 0
 

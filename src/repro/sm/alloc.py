@@ -149,10 +149,24 @@ class HierarchicalAllocator:
         self.stage_counts[AllocStage.NEW_BLOCK] -= 1
 
     def release_all(self, cvm_id: int) -> list:
-        """Drop every cache (CVM teardown); returns blocks to recycle."""
+        """Drop every cache held for ``cvm_id`` (CVM teardown).
+
+        Returns the backing blocks so the caller can recycle them into
+        the pool.  Covers both the per-vCPU caches and the uncached
+        ablation's global block -- a block whose pages were only partly
+        handed out is still owned by the CVM and must come back.
+        """
         blocks = []
         for cache in self._caches.values():
-            if cache.block is not None:
-                blocks.append(cache.block)
+            block = cache.block
+            if block is not None and block.owner is not None \
+                    and block.owner[0] == cvm_id:
+                blocks.append(block)
         self._caches.clear()
+        if self._global_block is not None:
+            owner = self._global_block.owner
+            if owner is not None and owner[0] == cvm_id:
+                blocks.append(self._global_block)
+            self._global_block = None
+            self._global_pages = []
         return blocks

@@ -453,14 +453,35 @@ class SecureMonitor:
         self.split.map_private(cvm, gpa, pa, self._alloc_table_page)
         return pa
 
+    #: Pool-expansion attempts per allocation before the SM gives up.  The
+    #: hypervisor is untrusted: it may donate nothing (or a short chunk),
+    #: so a single stage-3 round trip is not guaranteed to produce a page.
+    EXPANSION_ATTEMPTS = 3
+
     def _alloc_page_with_expansion(self, hart, cvm: ConfidentialVm, vcpu_id: int):
-        """The three-stage path, escalating to the hypervisor when needed."""
+        """The three-stage path, escalating to the hypervisor when needed.
+
+        Raises :class:`PoolExhausted` (a contained, typed refusal -- not a
+        crash) if the hypervisor fails to donate usable memory after
+        :data:`EXPANSION_ATTEMPTS` rounds.
+        """
         allocator = self._allocators[cvm.cvm_id]
         try:
             pa, stage = allocator.alloc_page(cvm.cvm_id, vcpu_id)
         except PoolExhausted:
-            self._request_pool_expansion(hart, cvm, vcpu_id)
-            pa, _ = allocator.alloc_page(cvm.cvm_id, vcpu_id)
+            pa = None
+            for _ in range(self.EXPANSION_ATTEMPTS):
+                self._request_pool_expansion(hart, cvm, vcpu_id)
+                try:
+                    pa, _ = allocator.alloc_page(cvm.cvm_id, vcpu_id)
+                except PoolExhausted:
+                    continue  # hypervisor donated nothing usable; re-ask
+                break
+            if pa is None:
+                raise PoolExhausted(
+                    f"hypervisor failed to expand the secure pool after "
+                    f"{self.EXPANSION_ATTEMPTS} requests (CVM {cvm.cvm_id})"
+                )
             allocator.note_expansion()
             stage = AllocStage.POOL_EXPANSION
         cache = allocator.cache_for(vcpu_id)

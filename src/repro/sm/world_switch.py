@@ -29,6 +29,11 @@ _MMIO_EXIT_FIELDS = ("exit_cause", "htval", "htinst", "gpr_index", "gpr_value")
 class WorldSwitch:
     """Executes (and charges) CVM entry/exit transitions on a hart."""
 
+    #: Consecutive Check-after-Load refusals tolerated for one pending exit
+    #: before the vCPU fail-stops (a hypervisor endlessly replaying corrupt
+    #: replies must not livelock the entry path).
+    MAX_REPLY_REFUSALS = 8
+
     def __init__(
         self,
         ledger: CycleLedger,
@@ -189,10 +194,24 @@ class WorldSwitch:
         shared = cvm.shared_vcpus[vcpu.vcpu_id]
         reply: dict = {}
         if vcpu.exit_context is not None:
-            if self.use_shared_vcpu:
-                reply = self.check_after_load.validate_reply(vcpu, shared)
-            else:
-                reply = self._validate_full_state(vcpu, shared)
+            try:
+                if self.use_shared_vcpu:
+                    reply = self.check_after_load.validate_reply(vcpu, shared)
+                else:
+                    reply = self._validate_full_state(vcpu, shared)
+            except Exception:
+                # Check-after-Load rejected the reply.  A refusal is
+                # retryable (the hypervisor may resubmit honest values),
+                # but a host replaying corrupt replies forever must not
+                # livelock the SM: after MAX_REPLY_REFUSALS consecutive
+                # rejections the vCPU fail-stops.
+                refusals = getattr(vcpu, "reply_refusals", 0) + 1
+                vcpu.reply_refusals = refusals
+                if refusals >= self.MAX_REPLY_REFUSALS:
+                    vcpu.exit_context = None
+                    vcpu.state = vcpu.state.__class__.STOPPED
+                raise
+            vcpu.reply_refusals = 0
             self._apply_reply(vcpu, reply)
             vcpu.exit_context = None
 

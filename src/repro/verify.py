@@ -8,8 +8,11 @@ after complex scenarios; embedders can call it anywhere as a tripwire.
 Checked invariants:
 
 I1. every CVM's stage-2 root and private table pages lie inside the pool;
-I2. every private leaf's frame is pool memory owned by exactly that CVM;
-I3. no two CVMs' private frames intersect;
+I2. every private leaf's frame is pool memory owned by exactly that CVM
+    (frames of a live SM-brokered channel window are the one sanctioned
+    exception: token-owned and mapped into both endpoints by design --
+    :mod:`repro.faults.invariants` checks their ownership separately);
+I3. no two CVMs' private frames intersect (channel windows excepted);
 I4. shared-subtree tables and shared leaves lie outside the pool;
 I5. the PMP pool entries of every hart match its recorded world state
     (open only while that hart executes a CVM);
@@ -27,6 +30,7 @@ from repro.isa.privilege import PrivilegeMode
 from repro.isa.traps import AccessType
 from repro.mem.pagetable import Sv39x4
 from repro.mem.physmem import PAGE_SIZE
+from repro.sm.channel import ChannelState
 from repro.sm.cvm import CvmState
 from repro.sm.secmem import OWNER_FREE, OWNER_SM
 
@@ -51,6 +55,20 @@ def check_invariants(machine) -> list:
         cvm for cvm in monitor.cvms.values() if cvm.state is not CvmState.DESTROYED
     ]
 
+    # Frames legitimately shared between endpoint CVMs via a live
+    # SM-brokered channel: owned by the channel token (not either CVM)
+    # and mapped into both endpoints' private ranges by design.
+    channel_frames: dict[int, set] = {}
+    for channel in monitor.channels.channels.values():
+        if channel.state is ChannelState.CLOSED:
+            continue
+        frames = {
+            channel.window_pa + offset
+            for offset in range(0, channel.window_size, PAGE_SIZE)
+        }
+        for endpoint_id in channel.gpas:
+            channel_frames.setdefault(endpoint_id, set()).update(frames)
+
     # --- I1/I2/I4: per-CVM table and leaf placement ----------------------
     frames_by_cvm: dict[int, set] = {}
     all_table_pages: set = set()
@@ -67,16 +85,19 @@ def check_invariants(machine) -> list:
         frames = set()
         for gpa, pa, _flags, _level in walker.iter_leaves(raw, cvm.hgatp_root):
             if cvm.layout.in_private_dram(gpa):
-                frames.add(pa & ~(PAGE_SIZE - 1))
+                page = pa & ~(PAGE_SIZE - 1)
+                if page in channel_frames.get(cvm.cvm_id, ()):
+                    continue  # live channel window: token-owned by design
+                frames.add(page)
                 if not pool.contains(pa, 1):
                     violations.append(
                         f"I2: CVM {cvm.cvm_id} private GPA {gpa:#x} maps "
                         f"non-pool PA {pa:#x}"
                     )
-                elif pool.owner_of(pa & ~(PAGE_SIZE - 1)) != cvm.cvm_id:
+                elif pool.owner_of(page) != cvm.cvm_id:
                     violations.append(
                         f"I2: CVM {cvm.cvm_id} private frame {pa:#x} owned by "
-                        f"{pool.owner_of(pa & ~(PAGE_SIZE - 1))!r}"
+                        f"{pool.owner_of(page)!r}"
                     )
             elif cvm.layout.in_shared(gpa):
                 if pool.contains(pa, 1):

@@ -1,0 +1,67 @@
+"""Seed -> FaultPlan determinism contract (repro.faults.plan)."""
+
+from repro.faults.plan import FAULT_SITES, SITE_SEAMS, FaultEvent, FaultPlan
+
+
+def test_same_seed_same_plan():
+    """All randomness is consumed at plan build time: replays are exact."""
+    for seed in range(20):
+        first = FaultPlan.from_seed(seed)
+        second = FaultPlan.from_seed(seed)
+        assert first.events == second.events
+        assert first.describe() == second.describe()
+
+
+def test_different_seeds_produce_different_plans():
+    assert len({FaultPlan.from_seed(s).describe() for s in range(20)}) > 1
+
+
+def test_event_count_bounds_and_distinct_sites():
+    for seed in range(50):
+        plan = FaultPlan.from_seed(seed)
+        assert 3 <= len(plan) <= 6
+        sites = [event.site for event in plan]
+        assert len(set(sites)) == len(sites)  # no site drawn twice
+        for event in plan:
+            assert event.site in FAULT_SITES
+            assert event.at >= 1
+
+
+def test_every_site_reached_across_a_modest_seed_range():
+    """The campaign's default 25 seeds plus margin cover all fault classes."""
+    covered = set()
+    for seed in range(40):
+        covered.update(event.site for event in FaultPlan.from_seed(seed))
+    assert covered == set(FAULT_SITES)
+
+
+def test_for_seam_partitions_the_plan():
+    plan = FaultPlan.from_seed(7)
+    by_seam = [
+        event
+        for seam in ("enter", "notify", "expand", "timer")
+        for event in plan.for_seam(seam)
+    ]
+    assert len(by_seam) == len(plan)
+    assert set(by_seam) == set(plan.events)
+    for event in plan:
+        assert SITE_SEAMS[event.site] in ("enter", "notify", "expand", "timer")
+
+
+def test_single_builds_a_one_event_plan():
+    plan = FaultPlan.single("ring_tear", at=5, params=(1, 99))
+    assert len(plan) == 1
+    event = plan.events[0]
+    assert (event.site, event.at, event.params) == ("ring_tear", 5, (1, 99))
+
+
+def test_describe_names_seed_and_sites():
+    plan = FaultPlan.from_seed(11)
+    text = plan.describe()
+    assert "seed=11" in text
+    for event in plan:
+        assert event.site in text
+
+
+def test_event_describe_is_compact():
+    assert FaultEvent("doorbell_drop", 3).describe() == "doorbell_drop[@3]"

@@ -1,0 +1,88 @@
+"""RoundRobinScheduler block/wake edge cases (repro.hyp.scheduler)."""
+
+from repro.hyp.scheduler import RoundRobinScheduler
+
+
+def _sched(*items):
+    sched = RoundRobinScheduler()
+    for item in items:
+        sched.add(item)
+    return sched
+
+
+def test_rotation_moves_item_to_tail():
+    sched = _sched("a", "b")
+    assert sched.next() == "a"
+    assert sched.next() == "b"
+    assert sched.next() == "a"
+
+
+def test_next_on_empty_returns_none():
+    assert RoundRobinScheduler().next() is None
+
+
+def test_block_parks_item_out_of_rotation():
+    sched = _sched("a", "b")
+    sched.block("a")
+    assert len(sched) == 1
+    assert sched.blocked_count == 1
+    assert sched.next() == "b"
+    assert sched.next() == "b"
+
+
+def test_block_of_absent_item_is_noop():
+    sched = _sched("a")
+    sched.block("ghost")
+    assert sched.blocked_count == 0
+    assert sched.wake("ghost") is False
+
+
+def test_remove_of_blocked_item_drops_it_entirely():
+    sched = _sched("a", "b")
+    sched.block("a")
+    sched.remove("a")
+    assert sched.blocked_count == 0
+    # A removed item must never resurface via wake.
+    assert sched.wake("a") is False
+    assert len(sched) == 1
+    assert sched.next() == "b"
+
+
+def test_wake_after_remove_does_not_resurrect():
+    sched = _sched("a")
+    sched.remove("a")
+    assert sched.wake("a") is False
+    assert len(sched) == 0
+    assert sched.next() is None
+
+
+def test_wake_returns_item_to_rotation_once():
+    sched = _sched("a", "b")
+    sched.block("b")
+    assert sched.wake("b") is True
+    assert sched.wake("b") is False  # already runnable: no double-add
+    assert len(sched) == 2
+
+
+def test_wake_all_unparks_in_block_order():
+    sched = _sched("a", "b", "c", "d")
+    sched.block("c")
+    sched.block("a")
+    sched.block("d")
+    assert sched.wake_all() == 3
+    assert sched.blocked_count == 0
+    # Remaining rotation: b (never blocked), then c, a, d in block order.
+    assert [sched.next() for _ in range(4)] == ["b", "c", "a", "d"]
+
+
+def test_wake_all_on_empty_returns_zero():
+    assert RoundRobinScheduler().wake_all() == 0
+
+
+def test_double_block_keeps_single_parked_entry():
+    sched = _sched("a")
+    sched.block("a")
+    sched.block("a")  # second block: item no longer runnable, no-op
+    assert sched.blocked_count == 1
+    assert sched.wake("a") is True
+    assert len(sched) == 1

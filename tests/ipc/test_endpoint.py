@@ -94,6 +94,29 @@ class TestEndpointErrors:
 
         assert machine.run(a, workload)["workload_result"]
 
+    def test_corrupt_endpoint_fail_stops(self, machine):
+        from repro.errors import ChannelCorrupt
+
+        a, _ = _pair(machine)
+
+        def workload(ctx):
+            endpoint = ChannelEndpoint.create(
+                ctx, a.layout.dram_base + 0x200_0000, 4 * 4096, b"\0" * 32
+            )
+            # Adversarial peer: smash the rx ring's prod counter.
+            ctx.store(endpoint.rx.base, 1 << 40)
+            with pytest.raises(ChannelCorrupt):
+                endpoint.recv()
+            assert endpoint.corrupt
+            # Fail-stop: every later data-path call refuses up front.
+            with pytest.raises(ChannelCorrupt):
+                endpoint.send(b"late")
+            with pytest.raises(ChannelCorrupt):
+                endpoint.recv()
+            return True
+
+        assert machine.run(a, workload)["workload_result"]
+
     def test_measurement_must_be_32_bytes(self, machine):
         a, _ = _pair(machine)
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ChannelCorrupt
 from repro.ipc.ring import HEADER_SIZE, LENGTH_PREFIX, SpscRing
 
 BASE_OFFSET = 0x300_0000
@@ -98,3 +99,67 @@ class TestSpscRing:
             return True
 
         assert _run_ring(machine, cvm_session, body)
+
+
+class TestAdversarialPeer:
+    """The counters and prefixes live in the shared window: a malicious
+    peer can write anything there.  The consumer must clamp before any
+    copy and raise the typed :class:`ChannelCorrupt`, never overrun."""
+
+    def test_prod_beyond_capacity_detected_on_recv(self, machine, cvm_session):
+        def body(ctx, ring):
+            assert ring.try_send(b"honest" * 4)
+            ctx.store(ring.base, 1 << 40)  # peer smashes prod
+            with pytest.raises(ChannelCorrupt):
+                ring.try_recv()
+            return True
+
+        assert _run_ring(machine, cvm_session, body)
+
+    def test_cons_beyond_prod_detected_on_send(self, machine, cvm_session):
+        def body(ctx, ring):
+            ctx.store(ring.base + 8, 4096)  # cons > prod: used negative
+            with pytest.raises(ChannelCorrupt):
+                ring.try_send(b"x")
+            return True
+
+        assert _run_ring(machine, cvm_session, body)
+
+    def test_huge_length_prefix_detected(self, machine, cvm_session):
+        def body(ctx, ring):
+            assert ring.try_send(b"p" * 16)
+            ctx.write_bytes(ring.data_base,
+                            (1 << 40).to_bytes(LENGTH_PREFIX, "little"))
+            with pytest.raises(ChannelCorrupt):
+                ring.try_recv()
+            return True
+
+        assert _run_ring(machine, cvm_session, body)
+
+    def test_length_exceeding_published_bytes_detected(self, machine,
+                                                       cvm_session):
+        """A prefix that fits the capacity but not the *published* byte
+        count must still be refused: the clamp is against ``used``."""
+
+        def body(ctx, ring):
+            assert ring.try_send(b"q" * 16)
+            ctx.write_bytes(ring.data_base,
+                            (100).to_bytes(LENGTH_PREFIX, "little"))
+            with pytest.raises(ChannelCorrupt):
+                ring.try_recv()
+            return True
+
+        assert _run_ring(machine, cvm_session, body)
+
+    def test_torn_counter_never_copies_a_payload(self, machine, cvm_session):
+        def body(ctx, ring):
+            assert ring.try_send(b"r" * 32)
+            prod = ring.prod
+            # Torn 64-bit store: only the low word of a huge update lands.
+            ctx.store(ring.base, (prod & ~0xFFFF_FFFF)
+                      | ((prod + (1 << 20)) & 0xFFFF_FFFF))
+            with pytest.raises(ChannelCorrupt):
+                ring.try_recv()
+            return ring.received
+
+        assert _run_ring(machine, cvm_session, body) == 0

@@ -18,13 +18,36 @@ def test_vmid_isolation():
     assert tlb.lookup(2, 0x80000) is None
 
 
-def test_capacity_eviction_fifo():
+def test_capacity_eviction_takes_least_recent():
     tlb = Tlb(capacity=4)
     for i in range(5):
         tlb.insert(1, i, i + 100, 0)
     assert len(tlb) == 4
-    assert tlb.lookup(1, 0) is None  # oldest evicted
+    # With no intervening lookups the least recently used IS the oldest.
+    assert tlb.lookup(1, 0) is None
     assert tlb.lookup(1, 4) is not None
+
+
+def test_lookup_refreshes_recency():
+    """Pins the replacement policy as LRU, not FIFO: a hit saves an
+    entry that insertion order alone would have evicted."""
+    tlb = Tlb(capacity=4)
+    for i in range(4):
+        tlb.insert(1, i, i + 100, 0)
+    assert tlb.lookup(1, 0) is not None  # refresh the oldest insert
+    tlb.insert(1, 99, 199, 0)
+    assert tlb.lookup(1, 0) is not None  # survived: recently used
+    assert tlb.lookup(1, 1) is None      # evicted instead: least recent
+
+
+def test_insert_refreshes_recency():
+    tlb = Tlb(capacity=2)
+    tlb.insert(1, 0, 10, 0)
+    tlb.insert(1, 1, 11, 0)
+    tlb.insert(1, 0, 12, 0)  # re-insert refreshes (and updates) entry 0
+    tlb.insert(1, 2, 13, 0)
+    assert tlb.lookup(1, 1) is None
+    assert tlb.lookup(1, 0) == (12, 0)
 
 
 def test_flush_all():
@@ -57,3 +80,16 @@ def test_flush_page():
 def test_flush_page_missing_is_noop():
     tlb = Tlb()
     tlb.flush_page(1, 99)  # must not raise
+
+
+def test_page_flushes_counted_separately_from_flushes():
+    tlb = Tlb()
+    tlb.insert(1, 5, 6, 0)
+    tlb.flush_page(1, 5)
+    tlb.flush_page(1, 99)  # absent pages still count (hfence was issued)
+    assert tlb.page_flushes == 2
+    assert tlb.flushes == 0  # single-page invalidations are not hfence-scale
+    tlb.flush_all()
+    tlb.flush_vmid(1)
+    assert tlb.flushes == 2
+    assert tlb.page_flushes == 2
