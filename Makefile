@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install verify test bench bench-full experiments faults examples clean
+.PHONY: install verify test bench bench-full experiments faults perf examples clean
 
 install:
 	pip install -e .
@@ -23,6 +23,10 @@ bench-full:
 
 experiments:
 	$(PYTHON) -m repro experiments
+
+# Wall-clock perf suite with cycle-exactness golden check (INTERNALS §11).
+perf:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro perf
 
 # Seeded adversarial fault-injection campaign (see docs/INTERNALS.md §10).
 faults:

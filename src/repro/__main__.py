@@ -10,7 +10,11 @@ Commands:
   machine statistics snapshot;
 - ``faults [--seeds N | --seed K] [--rounds R] [-v]`` — run the
   seeded fault-injection campaign (``--seed K`` deterministically
-  replays one seed, the failing-seed repro workflow).
+  replays one seed, the failing-seed repro workflow);
+- ``perf [--quick] [--out PATH]`` — wall-clock performance harness:
+  run the fixed scenario suite, emit ``BENCH_PERF.json`` and verify
+  simulated cycle totals against the committed goldens (any deviation
+  means the *model* changed, which an optimization must never do).
 """
 
 from __future__ import annotations
@@ -175,6 +179,39 @@ def _cmd_faults(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.bench import perf
+
+    only = set(args.only.split(",")) if args.only else None
+    if only:
+        unknown = only - set(perf.SCENARIOS)
+        if unknown:
+            print(f"unknown scenarios: {', '.join(sorted(unknown))}")
+            return 2
+    runs = perf.run_suite(quick=args.quick, only=only)
+    for run in runs:
+        print(
+            f"{run.name:<12} wall {run.wall_seconds:8.3f} s   "
+            f"cycles {run.cycles:>12,}   "
+            f"{run.cycles_per_wall_second / 1e6:8.1f} Mcyc/s"
+        )
+    report = perf.build_report(runs, quick=args.quick)
+    perf.write_report(report, args.out)
+    print(f"report written to {args.out}")
+    if args.update_goldens:
+        perf.update_goldens(runs, quick=args.quick)
+        print(f"goldens updated in {perf.GOLDEN_PATH}")
+        return 0
+    if args.no_golden_check or only:
+        return 0
+    problems = perf.check_goldens(runs, quick=args.quick)
+    for problem in problems:
+        print(f"GOLDEN MISMATCH: {problem}")
+    if not problems:
+        print("golden check: all simulated cycle totals match")
+    return 1 if problems else 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -202,6 +239,18 @@ def main(argv=None) -> int:
     faults.add_argument("-v", "--verbose", action="store_true",
                         help="print each seed's plan and outcomes")
     faults.set_defaults(func=_cmd_faults)
+    perf = sub.add_parser("perf", help="wall-clock performance harness")
+    perf.add_argument("--quick", action="store_true",
+                      help="CI-scale loads (same code paths, ~5x less work)")
+    perf.add_argument("--out", default="BENCH_PERF.json",
+                      help="report path (default BENCH_PERF.json)")
+    perf.add_argument("--only", help="comma-separated scenario subset "
+                      "(skips the golden check)")
+    perf.add_argument("--no-golden-check", action="store_true",
+                      help="measure only; skip the cycle-exactness gate")
+    perf.add_argument("--update-goldens", action="store_true",
+                      help="re-record golden cycle totals (model changes only)")
+    perf.set_defaults(func=_cmd_perf)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -1,0 +1,259 @@
+"""Wall-clock performance harness (``python -m repro perf``).
+
+Measures how fast the *simulator itself* runs -- wall seconds and
+simulated cycles per wall second -- over a fixed scenario suite that
+exercises the guest memory pipeline end to end:
+
+- ``memstress``: the 2000-page ``sequential_write_stress`` profile (one
+  stage-2 fault per page through the SM's allocation stages);
+- ``pingpong``: inter-CVM channel ping-pong under ``run_concurrent``
+  (doorbells, scheduler rotations, ring loads/stores);
+- ``redis``: the in-guest RESP server over virtio-net + SWIOTLB (the
+  full I/O path: MMIO exits, bounce copies, interrupt delivery);
+- ``switch_path``: a tight short-path world-switch loop (E2's shape).
+
+The harness enforces the repository's one hard performance invariant:
+**optimizations may change how fast Python executes the model, never what
+the model charges**.  Every scenario's simulated cycle total is compared
+against ``perf_goldens.json`` (recorded from the pre-optimization tree);
+any deviation is a model change, not an optimization, and fails the run.
+
+Results land in ``BENCH_PERF.json`` -- wall seconds, simulated cycles and
+cycles-per-wall-second per scenario -- which CI uploads as an artifact so
+the wall-clock trajectory of the simulator is tracked over time.  See
+docs/INTERNALS.md section 11 for how to read it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+
+from repro.machine import Machine, MachineConfig
+
+#: Golden simulated-cycle totals per scenario (recorded from the
+#: pre-optimization tree; see module docstring).
+GOLDEN_PATH = pathlib.Path(__file__).with_name("perf_goldens.json")
+
+#: Scenario parameters at full scale (the documented profiles) and quick
+#: scale (CI smoke: same code paths, ~5x less work).
+FULL_PARAMS = {
+    "memstress": {"pages": 2000},
+    "pingpong": {"rounds": 64, "message_size": 256},
+    "redis": {"requests": 400, "op": "GET"},
+    "switch_path": {"iterations": 400},
+}
+QUICK_PARAMS = {
+    "memstress": {"pages": 400},
+    "pingpong": {"rounds": 16, "message_size": 256},
+    "redis": {"requests": 100, "op": "GET"},
+    "switch_path": {"iterations": 100},
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioRun:
+    """One measured scenario: the wall/simulated-cycle pair."""
+
+    name: str
+    params: dict
+    #: Wall-clock seconds of the timed section (workload only; machine
+    #: construction and VM launch are setup, not pipeline).
+    wall_seconds: float
+    #: Simulated cycles charged during the timed section.
+    cycles: int
+    #: Ledger total at the end of the run (setup included) -- the
+    #: golden-checked quantity, so launch-path drift is caught too.
+    total_cycles: int
+    #: Per-category breakdown of the whole run (category name -> cycles).
+    breakdown: dict
+
+    @property
+    def cycles_per_wall_second(self) -> float:
+        """Simulator throughput: simulated cycles per wall second."""
+        return self.cycles / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def _measure(name: str, params: dict, machine: Machine, timed) -> ScenarioRun:
+    """Run ``timed()`` under the wall clock and package the result."""
+    cycles_before = machine.ledger.total
+    t0 = time.perf_counter()
+    timed()
+    wall = time.perf_counter() - t0
+    return ScenarioRun(
+        name=name,
+        params=dict(params),
+        wall_seconds=wall,
+        cycles=machine.ledger.total - cycles_before,
+        total_cycles=machine.ledger.total,
+        breakdown={
+            cat.name: cycles for cat, cycles in machine.ledger.by_category().items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def run_memstress(pages: int = 2000) -> ScenarioRun:
+    """Sequential first-touch write sweep: one stage-2 fault per page."""
+    from repro.workloads.memstress import sequential_write_stress
+
+    machine = Machine(MachineConfig())
+    session = machine.launch_confidential_vm(image=b"perf" * 100)
+    workload = sequential_write_stress(pages)
+    return _measure(
+        "memstress", {"pages": pages}, machine,
+        lambda: machine.run(session, workload),
+    )
+
+
+def run_pingpong(rounds: int = 64, message_size: int = 256) -> ScenarioRun:
+    """Inter-CVM channel ping-pong (doorbell arm) under run_concurrent."""
+    from repro.workloads.pingpong import pingpong_client, pingpong_server
+
+    machine = Machine(MachineConfig())
+    image = b"perf-ipc-guest" * 64
+    server = machine.launch_confidential_vm(image=image)
+    client = machine.launch_confidential_vm(image=image)
+    box: dict = {}
+    measurement = server.cvm.measurement
+    pairs = [
+        (server, pingpong_server(rounds=rounds,
+                                 expected_peer_measurement=measurement,
+                                 channel_box=box)),
+        (client, pingpong_client(box, message_size=message_size, rounds=rounds,
+                                 expected_creator_measurement=measurement)),
+    ]
+    return _measure(
+        "pingpong", {"rounds": rounds, "message_size": message_size}, machine,
+        lambda: machine.run_concurrent(pairs),
+    )
+
+
+def run_redis(requests: int = 400, op: str = "GET") -> ScenarioRun:
+    """In-guest RESP server over virtio-net: the full CVM I/O path."""
+    from repro.workloads.redis import redis_benchmark
+
+    machine = Machine(MachineConfig())
+    session = machine.launch_confidential_vm(image=b"redis" * 200)
+    machine.attach_virtio_net(session)
+    return _measure(
+        "redis", {"requests": requests, "op": op}, machine,
+        lambda: redis_benchmark(machine, session, op, requests),
+    )
+
+
+def run_switch_path(iterations: int = 400) -> ScenarioRun:
+    """Tight short-path world-switch loop (timer exits, E2's shape)."""
+    machine = Machine(MachineConfig())
+    session = machine.launch_confidential_vm(image=b"bench" * 100)
+    cvm, vcpu = session.cvm, session.cvm.vcpu(0)
+    ws = machine.monitor.world_switch
+    exit_info = {"kind": "timer", "cause": 7}
+
+    def timed():
+        ws.enter_cvm(machine.hart, cvm, vcpu)
+        for _ in range(iterations):
+            ws.exit_to_normal(machine.hart, cvm, vcpu, dict(exit_info))
+            ws.enter_cvm(machine.hart, cvm, vcpu)
+        ws.exit_to_normal(machine.hart, cvm, vcpu, {"kind": "halt", "cause": 0})
+
+    return _measure("switch_path", {"iterations": iterations}, machine, timed)
+
+
+SCENARIOS = {
+    "memstress": run_memstress,
+    "pingpong": run_pingpong,
+    "redis": run_redis,
+    "switch_path": run_switch_path,
+}
+
+
+# ---------------------------------------------------------------------------
+# Suite driver / report / golden check
+# ---------------------------------------------------------------------------
+
+
+def run_suite(quick: bool = False, only=None) -> list:
+    """Run the scenario suite; returns a list of :class:`ScenarioRun`."""
+    params = QUICK_PARAMS if quick else FULL_PARAMS
+    runs = []
+    for name, runner in SCENARIOS.items():
+        if only is not None and name not in only:
+            continue
+        runs.append(runner(**params[name]))
+    return runs
+
+
+def build_report(runs, quick: bool) -> dict:
+    """The ``BENCH_PERF.json`` structure."""
+    return {
+        "schema": 1,
+        "mode": "quick" if quick else "full",
+        "scenarios": {
+            run.name: {
+                "params": run.params,
+                "wall_seconds": round(run.wall_seconds, 6),
+                "cycles": run.cycles,
+                "total_cycles": run.total_cycles,
+                "cycles_per_wall_second": round(run.cycles_per_wall_second, 1),
+                "breakdown": run.breakdown,
+            }
+            for run in runs
+        },
+    }
+
+
+def write_report(report: dict, path) -> None:
+    """Write the report as pretty-printed JSON to ``path``."""
+    pathlib.Path(path).write_text(json.dumps(report, indent=2) + "\n")
+
+
+def load_goldens(path=GOLDEN_PATH) -> dict:
+    """The committed golden cycle totals ({mode: {scenario: total}})."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def check_goldens(runs, quick: bool, goldens: dict | None = None) -> list:
+    """Compare each run's cycle total to the golden file.
+
+    Returns a list of human-readable mismatch strings (empty == pass).
+    A scenario absent from the golden file is a mismatch too: goldens are
+    recorded deliberately (``--update-goldens``), never implied.
+    """
+    if goldens is None:
+        goldens = load_goldens()
+    mode = "quick" if quick else "full"
+    expected = goldens.get(mode, {})
+    problems = []
+    for run in runs:
+        want = expected.get(run.name)
+        if want is None:
+            problems.append(f"{run.name}: no {mode}-mode golden recorded")
+        elif want != run.total_cycles:
+            problems.append(
+                f"{run.name}: simulated cycle total {run.total_cycles} != "
+                f"golden {want} (drift {run.total_cycles - want:+d}); the "
+                "model changed -- update perf_goldens.json only if that is "
+                "intentional"
+            )
+    return problems
+
+
+def update_goldens(runs, quick: bool, path=GOLDEN_PATH) -> dict:
+    """Record the runs' cycle totals as the new goldens for this mode."""
+    try:
+        goldens = load_goldens(path)
+    except FileNotFoundError:
+        goldens = {}
+    mode = "quick" if quick else "full"
+    goldens.setdefault(mode, {})
+    for run in runs:
+        goldens[mode][run.name] = run.total_cycles
+    pathlib.Path(path).write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    return goldens

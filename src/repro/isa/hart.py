@@ -23,15 +23,39 @@ GPR_NAMES = (
 ).split()
 
 
+#: Memoized set-views of delegation CSR values.  Trap dispatch reads the
+#: medeleg/hedeleg views on every guest fault, and the CSRs only ever
+#: hold a handful of distinct values (the delegation profiles), so the
+#: frozensets are built once per (enum, value) pair and shared -- they
+#: are immutable, which makes the cache safe.
+_BITS_CACHE: dict = {}
+
+
 def _bits_to_set(value: int, enum_cls):
-    members = set()
-    for member in enum_cls:
-        if value >> member.value & 1:
-            members.add(member)
-    return frozenset(members)
+    key = (enum_cls, value)
+    members = _BITS_CACHE.get(key)
+    if members is None:
+        members = frozenset(
+            member for member in enum_cls if value >> member.value & 1
+        )
+        _BITS_CACHE[key] = members
+    return members
+
+
+#: Memoized bitmasks of delegation cause-sets (the setter direction of
+#: the same round trip; keyed by the frozenset itself).
+_MASK_CACHE: dict = {}
 
 
 def _set_to_bits(members) -> int:
+    if isinstance(members, frozenset):
+        value = _MASK_CACHE.get(members)
+        if value is None:
+            value = 0
+            for member in members:
+                value |= 1 << member.value
+            _MASK_CACHE[members] = value
+        return value
     value = 0
     for member in members:
         value |= 1 << member.value

@@ -76,11 +76,11 @@ class PmpEntry:
 
     def permits(self, access: AccessType) -> bool:
         """Whether the entry's permissions allow the access type."""
-        return {
-            AccessType.LOAD: self.readable,
-            AccessType.STORE: self.writable,
-            AccessType.FETCH: self.executable,
-        }[access]
+        if access is AccessType.LOAD:
+            return self.readable
+        if access is AccessType.STORE:
+            return self.writable
+        return self.executable
 
 
 class PmpUnit:
@@ -89,6 +89,22 @@ class PmpUnit:
     def __init__(self, entry_count: int = PMP_ENTRY_COUNT):
         self.entry_count = entry_count
         self._entries = [PmpEntry() for _ in range(entry_count)]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # Flat tuples of the matchable entries in priority order: check()
+        # runs once per guest access, and iterating 16 PmpEntry objects
+        # (enum compare + method calls each) dominated it.  OFF/zero-size
+        # entries can never match, so they drop out of the scan entirely;
+        # the checking semantics are unchanged.
+        self._active = [
+            (e.base, e.base + e.size, e.locked, e.readable, e.writable, e.executable)
+            for e in self._entries
+            if e.mode is not PmpAddressMode.OFF and e.size != 0
+        ]
+        self._any_implemented = any(
+            e.mode is not PmpAddressMode.OFF for e in self._entries
+        )
 
     def __getitem__(self, index: int) -> PmpEntry:
         return self._entries[index]
@@ -98,6 +114,7 @@ class PmpUnit:
         if self._entries[index].locked:
             raise PermissionError(f"PMP entry {index} is locked")
         self._entries[index] = entry
+        self._rebuild()
 
     def entries(self):
         """A copy of the 16-entry array."""
@@ -105,7 +122,7 @@ class PmpUnit:
 
     def any_implemented(self) -> bool:
         """True when at least one entry is programmed (spec default-deny)."""
-        return any(e.mode is not PmpAddressMode.OFF for e in self._entries)
+        return self._any_implemented
 
     def check(self, addr: int, size: int, access: AccessType, mode: PrivilegeMode) -> bool:
         """Whether the access is permitted under the current configuration.
@@ -113,15 +130,20 @@ class PmpUnit:
         ``mode`` is the *effective* privilege of the access; virtual modes
         (VS/VU) are below M and subject to PMP exactly like HS/U.
         """
-        for entry in self._entries:
-            match = entry.matches(addr, size)
-            if match == "none":
+        hi = addr + size
+        is_m = mode is PrivilegeMode.M
+        for base, end, locked, readable, writable, executable in self._active:
+            if hi <= base or addr >= end:
                 continue
-            if match == "partial":
-                return False
-            if mode is PrivilegeMode.M and not entry.locked:
+            if addr < base or hi > end:
+                return False  # partial match always fails
+            if is_m and not locked:
                 return True
-            return entry.permits(access)
-        if mode is PrivilegeMode.M:
+            if access is AccessType.LOAD:
+                return readable
+            if access is AccessType.STORE:
+                return writable
+            return executable
+        if is_m:
             return True
-        return not self.any_implemented()
+        return not self._any_implemented

@@ -87,31 +87,38 @@ _NOT_VS_DELEGATABLE = frozenset(
 )
 
 
+#: Cause tables, built once: these functions run on every faulting guest
+#: access, so rebuilding a dict per call was measurable.
+_PAGE_FAULT_CAUSE = {
+    AccessType.FETCH: ExceptionCause.INSTRUCTION_PAGE_FAULT,
+    AccessType.LOAD: ExceptionCause.LOAD_PAGE_FAULT,
+    AccessType.STORE: ExceptionCause.STORE_PAGE_FAULT,
+}
+_GUEST_PAGE_FAULT_CAUSE = {
+    AccessType.FETCH: ExceptionCause.INSTRUCTION_GUEST_PAGE_FAULT,
+    AccessType.LOAD: ExceptionCause.LOAD_GUEST_PAGE_FAULT,
+    AccessType.STORE: ExceptionCause.STORE_GUEST_PAGE_FAULT,
+}
+_ACCESS_FAULT_CAUSE = {
+    AccessType.FETCH: ExceptionCause.INSTRUCTION_ACCESS_FAULT,
+    AccessType.LOAD: ExceptionCause.LOAD_ACCESS_FAULT,
+    AccessType.STORE: ExceptionCause.STORE_ACCESS_FAULT,
+}
+
+
 def page_fault_for(access: AccessType) -> ExceptionCause:
     """The stage-1 page-fault cause for an access type."""
-    return {
-        AccessType.FETCH: ExceptionCause.INSTRUCTION_PAGE_FAULT,
-        AccessType.LOAD: ExceptionCause.LOAD_PAGE_FAULT,
-        AccessType.STORE: ExceptionCause.STORE_PAGE_FAULT,
-    }[access]
+    return _PAGE_FAULT_CAUSE[access]
 
 
 def guest_page_fault_for(access: AccessType) -> ExceptionCause:
     """The stage-2 (guest) page-fault cause for an access type."""
-    return {
-        AccessType.FETCH: ExceptionCause.INSTRUCTION_GUEST_PAGE_FAULT,
-        AccessType.LOAD: ExceptionCause.LOAD_GUEST_PAGE_FAULT,
-        AccessType.STORE: ExceptionCause.STORE_GUEST_PAGE_FAULT,
-    }[access]
+    return _GUEST_PAGE_FAULT_CAUSE[access]
 
 
 def access_fault_for(access: AccessType) -> ExceptionCause:
     """The access-fault cause (PMP denial) for an access type."""
-    return {
-        AccessType.FETCH: ExceptionCause.INSTRUCTION_ACCESS_FAULT,
-        AccessType.LOAD: ExceptionCause.LOAD_ACCESS_FAULT,
-        AccessType.STORE: ExceptionCause.STORE_ACCESS_FAULT,
-    }[access]
+    return _ACCESS_FAULT_CAUSE[access]
 
 
 def route_exception(
@@ -140,6 +147,23 @@ def route_exception(
     return PrivilegeMode.VS
 
 
+#: Interrupt classes for routing (never rebuilt per call).
+_MACHINE_LEVEL_IRQS = frozenset(
+    {
+        InterruptCause.MACHINE_SOFTWARE,
+        InterruptCause.MACHINE_TIMER,
+        InterruptCause.MACHINE_EXTERNAL,
+    }
+)
+_VS_LEVEL_IRQS = frozenset(
+    {
+        InterruptCause.VIRTUAL_SUPERVISOR_SOFTWARE,
+        InterruptCause.VIRTUAL_SUPERVISOR_TIMER,
+        InterruptCause.VIRTUAL_SUPERVISOR_EXTERNAL,
+    }
+)
+
+
 def route_interrupt(
     cause: InterruptCause,
     from_mode: PrivilegeMode,
@@ -152,20 +176,10 @@ def route_interrupt(
     interrupts are delegated to VS via ``hideleg`` once ``mideleg``
     forwards them past M.
     """
-    machine_level = {
-        InterruptCause.MACHINE_SOFTWARE,
-        InterruptCause.MACHINE_TIMER,
-        InterruptCause.MACHINE_EXTERNAL,
-    }
-    if cause in machine_level:
+    if cause in _MACHINE_LEVEL_IRQS:
         return PrivilegeMode.M
     if cause not in mideleg:
         return PrivilegeMode.M
-    vs_level = {
-        InterruptCause.VIRTUAL_SUPERVISOR_SOFTWARE,
-        InterruptCause.VIRTUAL_SUPERVISOR_TIMER,
-        InterruptCause.VIRTUAL_SUPERVISOR_EXTERNAL,
-    }
-    if cause in vs_level and cause in hideleg and from_mode.virtualized:
+    if cause in _VS_LEVEL_IRQS and cause in hideleg and from_mode.virtualized:
         return PrivilegeMode.VS
     return PrivilegeMode.HS

@@ -464,6 +464,11 @@ class Machine:
     def check_timer(self, session: GuestSession) -> None:
         """Fire the host scheduler tick when this hart's MTIP asserts."""
         hart_id = session.hart.hart_id
+        # Inline timer_pending: mtime is the ledger total (the CLINT's time
+        # source) and totals never approach the 64-bit wrap, so the idle
+        # case -- checked once per guest access -- is a single compare.
+        if self.ledger._total < self.clint._mtimecmp[hart_id]:
+            return
         if not self.clint.timer_pending(hart_id):
             return
         self.clint.arm_after(hart_id, self.config.timer_tick_cycles)
@@ -703,6 +708,9 @@ class GuestContext:
         self.session = session
         self.ledger = machine.ledger
         self.costs = machine.costs
+        # Precompiled "one compute cycle" charge: every load/store issues
+        # it, so the generic charge() path was measurable.
+        self._charge_access = machine.ledger.charger(Category.COMPUTE, 1)
 
     # -- computation -------------------------------------------------------
 
@@ -723,9 +731,11 @@ class GuestContext:
     def load(self, gva: int, size: int = 8) -> int:
         """Guest load; returns the value (integers up to 8 bytes)."""
         value, kind = self.machine.guest_access(self.session, gva, AccessType.LOAD, size)
-        self.ledger.charge(Category.COMPUTE, 1)
+        self._charge_access()
         if kind == "mmio":
             return value
+        if size == 8 and not value & 7:
+            return self.machine.dram.read_u64(value)
         data = self.machine.dram.read(value, min(size, 8))
         return int.from_bytes(data, "little")
 
@@ -733,10 +743,71 @@ class GuestContext:
         """Guest store of an integer value."""
         self.machine._pending_store_value = value & (1 << 64) - 1
         pa, kind = self.machine.guest_access(self.session, gva, AccessType.STORE, size)
-        self.ledger.charge(Category.COMPUTE, 1)
+        self._charge_access()
         if kind == "mmio":
             return
+        if size == 8 and not pa & 7:
+            self.machine.dram.write_u64(pa, value)
+            return
         self.machine.dram.write(pa, (value & (1 << (8 * min(size, 8))) - 1).to_bytes(min(size, 8), "little"))
+
+    def load_seq(self, gva: int, count: int, size: int = 8, stride: int | None = None) -> list:
+        """Batched guest loads: ``count`` values starting at ``gva``.
+
+        Wall-clock batching only -- every element performs the identical
+        architectural sequence an individual :meth:`load` would (timer
+        check, translation with its TLB lookup and charges, per-access
+        compute charge), so simulated cycles are bit-for-bit the same.
+        """
+        step = size if stride is None else stride
+        machine = self.machine
+        session = self.session
+        guest_access = machine.guest_access
+        charge = self._charge_access
+        read_u64 = machine.dram.read_u64
+        read = machine.dram.read
+        out = []
+        append = out.append
+        for i in range(count):
+            addr = gva + i * step
+            value, kind = guest_access(session, addr, AccessType.LOAD, size)
+            charge()
+            if kind == "mmio":
+                append(value)
+            elif size == 8 and not value & 7:
+                append(read_u64(value))
+            else:
+                append(int.from_bytes(read(value, min(size, 8)), "little"))
+        return out
+
+    def store_seq(self, gva: int, values, size: int = 8, stride: int | None = None) -> None:
+        """Batched guest stores of ``values`` starting at ``gva``.
+
+        Same cycle-exactness contract as :meth:`load_seq`: this is the
+        per-element :meth:`store` sequence with the Python call overhead
+        hoisted out of the loop, never a change to what is charged.
+        """
+        step = size if stride is None else stride
+        machine = self.machine
+        session = self.session
+        guest_access = machine.guest_access
+        charge = self._charge_access
+        write_u64 = machine.dram.write_u64
+        write = machine.dram.write
+        mask64 = (1 << 64) - 1
+        small = min(size, 8)
+        small_mask = (1 << (8 * small)) - 1
+        for i, value in enumerate(values):
+            addr = gva + i * step
+            machine._pending_store_value = value & mask64
+            pa, kind = guest_access(session, addr, AccessType.STORE, size)
+            charge()
+            if kind == "mmio":
+                continue
+            if size == 8 and not pa & 7:
+                write_u64(pa, value)
+            else:
+                write(pa, (value & small_mask).to_bytes(small, "little"))
 
     def write_bytes(self, gva: int, data: bytes) -> None:
         """Bulk guest write (page-wise translation, per-byte copy charge)."""
@@ -779,6 +850,24 @@ class GuestContext:
         while page < end:
             self.touch(page)
             page += PAGE_SIZE
+
+    def touch_seq(self, gvas) -> None:
+        """Touch every address in ``gvas`` (batched :meth:`touch`).
+
+        Architecturally identical to touching each address in a Python
+        loop -- same timer checks, translations, and compute charges --
+        but with the loop overhead hoisted and the discarded 1-byte data
+        fetch skipped (reading DRAM has no model-visible effect; the
+        cycle cost of a load is charged by the access path, not by the
+        byte copy).  MMIO touches still perform the full device access.
+        """
+        machine = self.machine
+        session = self.session
+        guest_access = machine.guest_access
+        charge = self._charge_access
+        for gva in gvas:
+            guest_access(session, gva, AccessType.LOAD, 1)
+            charge()
 
     # -- virtio driver construction ---------------------------------------------
 

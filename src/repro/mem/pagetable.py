@@ -16,8 +16,6 @@ alignment requirement.
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.errors import MemoryError_
 from repro.isa.traps import AccessType
 from repro.mem.physmem import PAGE_SIZE
@@ -40,6 +38,11 @@ _REQUIRED_BIT = {
     AccessType.STORE: PTE_W,
     AccessType.FETCH: PTE_X,
 }
+# The same mapping as a member attribute: permission checks run once per
+# guest access, and an attribute load beats an enum-keyed dict hash.
+for _access, _bit in _REQUIRED_BIT.items():
+    _access.required_pte_bit = _bit
+del _access, _bit
 
 
 def pte_pack(pa: int, flags: int) -> int:
@@ -59,14 +62,36 @@ def pte_is_leaf(pte: int) -> bool:
     return bool(pte & (PTE_R | PTE_W | PTE_X))
 
 
-@dataclasses.dataclass(frozen=True)
 class WalkResult:
-    """Outcome of a successful translation walk."""
+    """Outcome of a successful translation walk.
 
-    pa: int
-    flags: int
-    level: int  # 0 = 4 KB leaf; higher = superpage
-    levels_touched: int  # table reads performed (for cycle charging)
+    A ``__slots__`` value object (one is built per completed walk, which
+    is once or twice per guest access on the TLB-miss path).
+    """
+
+    __slots__ = ("pa", "flags", "level", "levels_touched")
+
+    def __init__(self, pa: int, flags: int, level: int, levels_touched: int):
+        self.pa = pa
+        self.flags = flags
+        self.level = level  # 0 = 4 KB leaf; higher = superpage
+        self.levels_touched = levels_touched  # table reads (cycle charging)
+
+    def __repr__(self):
+        return (
+            f"WalkResult(pa={self.pa:#x}, flags={self.flags:#x}, "
+            f"level={self.level}, levels_touched={self.levels_touched})"
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, WalkResult):
+            return NotImplemented
+        return (
+            self.pa == other.pa
+            and self.flags == other.flags
+            and self.level == other.level
+            and self.levels_touched == other.levels_touched
+        )
 
 
 class PageTable:
@@ -77,6 +102,14 @@ class PageTable:
 
     def __init__(self):
         self.levels = len(self.vpn_bits)
+        # Per-depth geometry, precomputed once: recomputing these (a
+        # slice + sum per PTE) dominated walk time on the hot path.
+        self._shifts = tuple(
+            12 + sum(self.vpn_bits[depth + 1 :]) for depth in range(self.levels)
+        )
+        self._masks = tuple((1 << bits) - 1 for bits in self.vpn_bits)
+        self._spans = tuple(PAGE_SIZE << (shift - 12) for shift in self._shifts)
+        self._va_limit = 1 << self.va_bits
 
     @property
     def root_entries(self) -> int:
@@ -92,16 +125,14 @@ class PageTable:
 
     def _index(self, va: int, depth: int) -> int:
         """Index into the table at ``depth`` (0 = root) for ``va``."""
-        below = sum(self.vpn_bits[depth + 1 :])
-        return (va >> (12 + below)) & ((1 << self.vpn_bits[depth]) - 1)
+        return (va >> self._shifts[depth]) & self._masks[depth]
 
     def _leaf_span(self, depth: int) -> int:
         """Bytes covered by a leaf installed at ``depth``."""
-        below = sum(self.vpn_bits[depth + 1 :])
-        return PAGE_SIZE << below
+        return self._spans[depth]
 
     def _check_va(self, va: int) -> None:
-        if not 0 <= va < (1 << self.va_bits):
+        if not 0 <= va < self._va_limit:
             raise MemoryError_(
                 f"address {va:#x} outside the {self.va_bits}-bit space"
             )
@@ -126,21 +157,24 @@ class PageTable:
             )
         allocated = []
         table = root_pa
+        read_u64 = accessor.read_u64
+        shifts = self._shifts
+        masks = self._masks
         for depth in range(leaf_depth):
-            slot = table + 8 * self._index(va, depth)
-            pte = accessor.read_u64(slot)
+            slot = table + 8 * ((va >> shifts[depth]) & masks[depth])
+            pte = read_u64(slot)
             if not pte & PTE_V:
                 child = alloc_table()
                 allocated.append(child)
                 accessor.write_u64(slot, pte_pack(child, PTE_V))
                 table = child
-            elif pte_is_leaf(pte):
+            elif pte & 0b1110:  # leaf (R|W|X)
                 raise MemoryError_(
                     f"cannot map {va:#x}: covered by a superpage at depth {depth}"
                 )
             else:
-                table = pte_target(pte)
-        slot = table + 8 * self._index(va, leaf_depth)
+                table = (pte & _PPN_MASK) >> _PPN_SHIFT << 12
+        slot = table + 8 * ((va >> shifts[leaf_depth]) & masks[leaf_depth])
         old = accessor.read_u64(slot)
         if old & PTE_V:
             raise MemoryError_(f"{va:#x} is already mapped")
@@ -181,27 +215,30 @@ class PageTable:
     def walk(self, accessor, root_pa: int, va: int) -> WalkResult | None:
         """Translate ``va``; ``None`` when no valid leaf covers it."""
         self._check_va(va)
+        read_u64 = accessor.read_u64
+        shifts = self._shifts
+        masks = self._masks
         table = root_pa
         for depth in range(self.levels):
-            slot = table + 8 * self._index(va, depth)
-            pte = accessor.read_u64(slot)
+            slot = table + 8 * ((va >> shifts[depth]) & masks[depth])
+            pte = read_u64(slot)
             if not pte & PTE_V:
                 return None
-            if pte_is_leaf(pte):
-                span = self._leaf_span(depth)
-                base = pte_target(pte)
+            if pte & 0b1110:  # leaf (R|W|X)
+                span = self._spans[depth]
+                base = (pte & _PPN_MASK) >> _PPN_SHIFT << 12
                 return WalkResult(
                     pa=base + (va & (span - 1)),
                     flags=pte & 0xFF,
                     level=self.levels - 1 - depth,
                     levels_touched=depth + 1,
                 )
-            table = pte_target(pte)
+            table = (pte & _PPN_MASK) >> _PPN_SHIFT << 12
         return None
 
     def permits(self, flags: int, access: AccessType) -> bool:
         """Whether leaf permission ``flags`` allow ``access``."""
-        return bool(flags & _REQUIRED_BIT[access])
+        return bool(flags & access.required_pte_bit)
 
     # -- introspection -----------------------------------------------------------
 

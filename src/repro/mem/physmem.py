@@ -44,15 +44,18 @@ class PhysicalMemory:
             raise ValueError("memory base and size must be page-aligned")
         self.base = base
         self.size = size
+        # Cached bound: ``end`` is consulted on every u64 access, and a
+        # property call per check was measurable on the walk path.
+        self._end = base + size
         self._pages: dict[int, bytearray] = {}
 
     @property
     def end(self) -> int:
-        return self.base + self.size
+        return self._end
 
     def contains(self, addr: int, size: int = 1) -> bool:
         """Whether the range lies inside this DRAM."""
-        return self.base <= addr and addr + size <= self.end
+        return self.base <= addr and addr + size <= self._end
 
     def _check_range(self, addr: int, size: int) -> None:
         if size < 0:
@@ -73,6 +76,13 @@ class PhysicalMemory:
     def read(self, addr: int, size: int) -> bytes:
         """Read ``size`` bytes at ``addr`` (zeros for untouched pages)."""
         self._check_range(addr, size)
+        offset = addr & (PAGE_SIZE - 1)
+        if offset + size <= PAGE_SIZE:
+            # Single-page fast path: one slice, no bytearray assembly.
+            page = self._pages.get(addr >> 12)
+            if page is None:
+                return bytes(size)
+            return bytes(page[offset : offset + size])
         out = bytearray()
         while size:
             offset = addr & (PAGE_SIZE - 1)
@@ -88,7 +98,17 @@ class PhysicalMemory:
 
     def write(self, addr: int, data: bytes) -> None:
         """Write ``data`` at ``addr``, materialising pages as needed."""
-        self._check_range(addr, len(data))
+        size = len(data)
+        self._check_range(addr, size)
+        offset = addr & (PAGE_SIZE - 1)
+        if offset + size <= PAGE_SIZE:
+            index = addr >> 12
+            page = self._pages.get(index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[index] = page
+            page[offset : offset + size] = data
+            return
         view = memoryview(data)
         while view:
             offset = addr & (PAGE_SIZE - 1)
@@ -100,19 +120,36 @@ class PhysicalMemory:
 
     def read_u64(self, addr: int) -> int:
         """Read one aligned 64-bit little-endian word."""
-        if addr % 8:
+        if addr & 7:
             raise MemoryError_(f"misaligned u64 read at {addr:#x}")
-        return _U64.unpack(self.read(addr, 8))[0]
+        if not (self.base <= addr and addr + 8 <= self._end):
+            self._check_range(addr, 8)
+        # Aligned u64s never straddle a page: unpack in place.
+        page = self._pages.get(addr >> 12)
+        if page is None:
+            return 0
+        return _U64.unpack_from(page, addr & (PAGE_SIZE - 1))[0]
 
     def write_u64(self, addr: int, value: int) -> None:
         """Write one aligned 64-bit little-endian word."""
-        if addr % 8:
+        if addr & 7:
             raise MemoryError_(f"misaligned u64 write at {addr:#x}")
-        self.write(addr, _U64.pack(value & (1 << 64) - 1))
+        if not (self.base <= addr and addr + 8 <= self._end):
+            self._check_range(addr, 8)
+        index = addr >> 12
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        _U64.pack_into(page, addr & (PAGE_SIZE - 1), value & (1 << 64) - 1)
 
     def zero_range(self, addr: int, size: int) -> None:
         """Scrub a range (page-efficient; whole pages are dropped)."""
         self._check_range(addr, size)
+        if size == PAGE_SIZE and not addr & (PAGE_SIZE - 1):
+            # Exactly one aligned page (the allocator's scrub): drop it.
+            self._pages.pop(addr >> 12, None)
+            return
         while size:
             offset = addr & (PAGE_SIZE - 1)
             chunk = min(size, PAGE_SIZE - offset)

@@ -23,6 +23,10 @@ class Tlb:
     def __init__(self, capacity: int = 512):
         self.capacity = capacity
         self._entries: OrderedDict = OrderedDict()
+        #: Per-VMID key index so ``flush_vmid`` (the world-switch
+        #: ``hfence.gvma`` path) drops exactly one VMID's keys instead of
+        #: scanning all ``capacity`` entries.
+        self._by_vmid: dict = {}
         self.hits = 0
         self.misses = 0
         #: Whole-TLB and per-VMID flushes (hfence.gvma-scale events).
@@ -43,27 +47,41 @@ class Tlb:
 
     def insert(self, vmid: int, vpage: int, ppage: int, flags: int) -> None:
         """Cache a translation, evicting the least recently used at capacity."""
+        entries = self._entries
         key = (vmid, vpage)
-        self._entries[key] = (ppage, flags)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        entries[key] = (ppage, flags)
+        entries.move_to_end(key)
+        index = self._by_vmid.get(vmid)
+        if index is None:
+            index = self._by_vmid[vmid] = set()
+        index.add(key)
+        while len(entries) > self.capacity:
+            evicted, _ = entries.popitem(last=False)
+            victim_index = self._by_vmid[evicted[0]]
+            victim_index.discard(evicted)
+            if not victim_index:
+                del self._by_vmid[evicted[0]]
 
     def flush_all(self) -> None:
         """Drop every cached translation."""
         self._entries.clear()
+        self._by_vmid.clear()
         self.flushes += 1
 
     def flush_vmid(self, vmid: int) -> None:
-        """Drop all translations of one VMID."""
-        stale = [key for key in self._entries if key[0] == vmid]
-        for key in stale:
+        """Drop all translations of one VMID (O(entries of that VMID))."""
+        for key in self._by_vmid.pop(vmid, ()):
             del self._entries[key]
         self.flushes += 1
 
     def flush_page(self, vmid: int, vpage: int) -> None:
         """Drop one page's translation (counted even if absent)."""
-        self._entries.pop((vmid, vpage), None)
+        key = (vmid, vpage)
+        if self._entries.pop(key, None) is not None:
+            index = self._by_vmid[vmid]
+            index.discard(key)
+            if not index:
+                del self._by_vmid[vmid]
         self.page_flushes += 1
 
     def __len__(self):

@@ -12,8 +12,6 @@ for ``htval``.
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.cycles import Category, CycleCosts, CycleLedger
 from repro.errors import TrapRaised
 from repro.isa.traps import AccessType, guest_page_fault_for, page_fault_for
@@ -22,14 +20,37 @@ from repro.mem.physmem import PAGE_SIZE
 from repro.mem.tlb import Tlb
 
 
-@dataclasses.dataclass(frozen=True)
 class TranslationResult:
-    """A completed translation."""
+    """A completed translation.
 
-    pa: int
-    gpa: int
-    flags: int
-    tlb_hit: bool
+    A ``__slots__`` value object rather than a dataclass: one is built
+    per guest access, making construction cost part of the simulator's
+    innermost loop.
+    """
+
+    __slots__ = ("pa", "gpa", "flags", "tlb_hit")
+
+    def __init__(self, pa: int, gpa: int, flags: int, tlb_hit: bool):
+        self.pa = pa
+        self.gpa = gpa
+        self.flags = flags
+        self.tlb_hit = tlb_hit
+
+    def __repr__(self):
+        return (
+            f"TranslationResult(pa={self.pa:#x}, gpa={self.gpa:#x}, "
+            f"flags={self.flags:#x}, tlb_hit={self.tlb_hit})"
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, TranslationResult):
+            return NotImplemented
+        return (
+            self.pa == other.pa
+            and self.gpa == other.gpa
+            and self.flags == other.flags
+            and self.tlb_hit == other.tlb_hit
+        )
 
 
 class _RawAccessor:
@@ -37,17 +58,19 @@ class _RawAccessor:
 
     Hardware page-table-walker accesses are implicit loads; we model them
     as raw DRAM reads (the walker runs with the translation machinery's
-    own access path) and charge one walk-level cost each.
+    own access path) and charge one walk-level cost each.  Stateless, so
+    the translator builds one and reuses it for every walk.
     """
 
+    __slots__ = ("_read_u64", "_charge_walk")
+
     def __init__(self, dram, ledger: CycleLedger, costs: CycleCosts):
-        self._dram = dram
-        self._ledger = ledger
-        self._costs = costs
+        self._read_u64 = dram.read_u64
+        self._charge_walk = ledger.charger(Category.PAGE_WALK, costs.page_walk_level)
 
     def read_u64(self, addr: int) -> int:
-        self._ledger.charge(Category.PAGE_WALK, self._costs.page_walk_level)
-        return self._dram.read_u64(addr)
+        self._charge_walk()
+        return self._read_u64(addr)
 
     def write_u64(self, addr: int, value: int) -> None:
         # The walker writes A/D bits in principle; ZION pre-sets them, so
@@ -65,9 +88,12 @@ class AddressTranslator:
         self.tlb = tlb if tlb is not None else Tlb()
         self.sv39 = Sv39()
         self.sv39x4 = Sv39x4()
+        self._accessor = _RawAccessor(bus.dram, ledger, costs)
+        self._charge_tlb_hit = ledger.charger(Category.TLB, costs.tlb_hit)
+        self._charge_flush_page = ledger.charger(Category.TLB, costs.tlb_flush_page)
 
     def _walker(self):
-        return _RawAccessor(self.bus.dram, self.ledger, self.costs)
+        return self._accessor
 
     def gpa_to_pa(self, hgatp_root: int, gpa: int, access: AccessType) -> tuple:
         """G-stage only: translate a GPA, returning ``(pa, flags)``.
@@ -75,8 +101,8 @@ class AddressTranslator:
         Raises the guest-page fault for ``access`` when unmapped or when
         the leaf lacks the needed permission.
         """
-        result = self.sv39x4.walk(self._walker(), hgatp_root, gpa)
-        if result is None or not self.sv39x4.permits(result.flags, access):
+        result = self.sv39x4.walk(self._accessor, hgatp_root, gpa)
+        if result is None or not result.flags & access.required_pte_bit:
             raise TrapRaised(
                 guest_page_fault_for(access),
                 tval=gpa,
@@ -103,10 +129,11 @@ class AddressTranslator:
         cached = self.tlb.lookup(vmid, vpage)
         if cached is not None:
             ppage, flags = cached
-            if self.sv39x4.permits(flags, access):
-                self.ledger.charge(Category.TLB, self.costs.tlb_hit)
+            if flags & access.required_pte_bit:
+                # TLB-hit fast path: no walker, no permits() dispatch.
+                self._charge_tlb_hit()
                 pa = ppage << 12 | gva & (PAGE_SIZE - 1)
-                return TranslationResult(pa=pa, gpa=gva, flags=flags, tlb_hit=True)
+                return TranslationResult(pa, gva, flags, True)
             # Permission-insufficient TLB entry: hardware re-walks.
             self.tlb.flush_page(vmid, vpage)
 
@@ -123,7 +150,7 @@ class AddressTranslator:
         self.bus._cpu_check(hart, pa, 1, access)
 
         self.tlb.insert(vmid, vpage, pa >> 12, flags)
-        return TranslationResult(pa=pa, gpa=gpa, flags=flags, tlb_hit=False)
+        return TranslationResult(pa, gpa, flags, False)
 
     def _vs_stage(self, gva: int, access: AccessType, hgatp_root: int, vsatp_root: int) -> tuple:
         """VS-stage walk; each table pointer is itself G-stage translated."""
@@ -164,5 +191,5 @@ class AddressTranslator:
 
     def sfence_page(self, vmid: int, gva: int) -> None:
         """Flush one page's translation."""
-        self.ledger.charge(Category.TLB, self.costs.tlb_flush_page)
+        self._charge_flush_page()
         self.tlb.flush_page(vmid, gva >> 12)

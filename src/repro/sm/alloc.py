@@ -76,6 +76,10 @@ class HierarchicalAllocator:
         #: global pool list under its lock (the naive design stage 1 avoids).
         self.use_page_cache = use_page_cache
         self._caches: dict[int, VcpuPageCache] = {}
+        # Precompiled stage-1 charge: paid on every allocation attempt.
+        self._charge_cache_pop = ledger.charger(
+            Category.ALLOC, costs.page_cache_pop
+        )
         self._global_block = None
         self._global_pages: list[int] = []
         #: Allocation counts per stage, for the experiment harness.
@@ -99,7 +103,7 @@ class HierarchicalAllocator:
 
         # Stage 1: per-vCPU page cache.
         page = cache.pop()
-        self._ledger.charge(Category.ALLOC, self._costs.page_cache_pop)
+        self._charge_cache_pop()
         if page is not None:
             self.stage_counts[AllocStage.PAGE_CACHE] += 1
             self._pool.set_page_owner(page, cvm_id)

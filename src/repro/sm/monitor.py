@@ -85,6 +85,12 @@ class SecureMonitor:
         self.use_page_cache = use_page_cache
         self.metadata = _MetadataAllocator(self.pool)
         self.split = SplitTableManager(self.pool, self.dram, ledger, costs)
+        # Precompiled fixed-cost charges for the stage-2 fault path (the
+        # hottest SM code): identical charges, no per-call dispatch.
+        self._charge_trap_to_m = ledger.charger(Category.TRAP, costs.trap_to_m)
+        self._charge_fault_fixed = ledger.charger(Category.SM_LOGIC, costs.sm_fault_fixed)
+        self._charge_zero_page = ledger.charger(Category.SM_LOGIC, costs.zero_bytes(PAGE_SIZE))
+        self._charge_xret = ledger.charger(Category.TRAP, costs.xret)
         self.attestation = AttestationService(device_secret, entropy_seed)
         self.world_switch = WorldSwitch(
             ledger,
@@ -431,8 +437,8 @@ class SecureMonitor:
         hypervisor for those); a fault outside every known region is a
         security violation and kills the access.
         """
-        self.ledger.charge(Category.TRAP, self.costs.trap_to_m)
-        self.ledger.charge(Category.SM_LOGIC, self.costs.sm_fault_fixed)
+        self._charge_trap_to_m()
+        self._charge_fault_fixed()
         if not cvm.layout.in_private_dram(gpa):
             raise SecurityViolation(
                 f"unresolvable stage-2 fault at GPA {gpa:#x} for CVM {cvm.cvm_id}"
@@ -440,11 +446,11 @@ class SecureMonitor:
         page_gpa = gpa & ~(PAGE_SIZE - 1)
         pa, stage = self._alloc_page_with_expansion(hart, cvm, vcpu_id)
         self.dram.zero_range(pa, PAGE_SIZE)
-        self.ledger.charge(Category.SM_LOGIC, self.costs.zero_bytes(PAGE_SIZE))
+        self._charge_zero_page()
         self.split.map_private(cvm, page_gpa, pa, self._alloc_table_page)
         self.translator.sfence_page(cvm.vmid, page_gpa)
         self.fault_stage_counts[stage] += 1
-        self.ledger.charge(Category.TRAP, self.costs.xret)
+        self._charge_xret()
         return stage
 
     def _alloc_and_map(self, cvm: ConfidentialVm, vcpu_id: int, gpa: int) -> int:

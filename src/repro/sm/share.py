@@ -40,6 +40,17 @@ class SplitTableManager:
         self._ledger = ledger
         self._costs = costs
         self._sv39x4 = Sv39x4()
+        # One raw accessor for every table edit: stateless, so building a
+        # fresh one per map/unmap (stage-2 fault path!) was pure overhead.
+        self._accessor = _RawAccessor(dram)
+        # Precompiled fixed-cost charges (map/unmap run once per stage-2
+        # fault; the charges themselves are unchanged).
+        self._charge_ownership = ledger.charger(
+            Category.SM_LOGIC, costs.ownership_check
+        )
+        self._charge_map_walk = ledger.charger(
+            Category.PAGE_WALK, costs.page_walk_level * self._sv39x4.levels
+        )
 
     def shared_root_index_base(self, cvm: ConfidentialVm) -> int:
         """First stage-2 root index belonging to the shared region."""
@@ -72,7 +83,7 @@ class SplitTableManager:
                 "shared subtree table lies inside the secure pool"
             )
         self._validate_subtree(table_pa, depth=1)
-        self._ledger.charge(Category.SM_LOGIC, self._costs.ownership_check)
+        self._charge_ownership()
         slot = cvm.hgatp_root + 8 * root_index
         self._dram.write_u64(slot, (table_pa >> 12) << 10 | 1)  # non-leaf PTE
         cvm.shared_subtrees[root_index] = table_pa
@@ -124,23 +135,21 @@ class SplitTableManager:
                 f"GPA {gpa:#x} is not in CVM {cvm.cvm_id}'s private DRAM"
             )
         owner = self._pool.owner_of(pa & ~(PAGE_SIZE - 1))
-        self._ledger.charge(Category.SM_LOGIC, self._costs.ownership_check)
+        self._charge_ownership()
         if owner != cvm.cvm_id:
             raise SecurityViolation(
                 f"frame {pa:#x} is owned by {owner!r}, not CVM {cvm.cvm_id}"
             )
         flags = PTE_R | PTE_U | PTE_D | (PTE_W if writable else 0) | (PTE_X if executable else 0)
         tables = self._sv39x4.map(
-            _RawAccessor(self._dram), cvm.hgatp_root, gpa, pa, flags, alloc_table
+            self._accessor, cvm.hgatp_root, gpa, pa, flags, alloc_table
         )
         for table in tables:
             if not self._pool.contains(table, PAGE_SIZE):
                 raise SecurityViolation(
                     "private page-table page allocated outside the secure pool"
                 )
-        self._ledger.charge(
-            Category.PAGE_WALK, self._costs.page_walk_level * self._sv39x4.levels
-        )
+        self._charge_map_walk()
 
     # -- SM-side channel mapping -------------------------------------------
 
@@ -165,23 +174,21 @@ class SplitTableManager:
                 f"channel GPA {gpa:#x} is not in CVM {cvm.cvm_id}'s private DRAM"
             )
         owner = self._pool.owner_of(pa & ~(PAGE_SIZE - 1))
-        self._ledger.charge(Category.SM_LOGIC, self._costs.ownership_check)
+        self._charge_ownership()
         if owner != owner_token:
             raise SecurityViolation(
                 f"frame {pa:#x} is owned by {owner!r}, not channel {owner_token!r}"
             )
         flags = PTE_R | PTE_W | PTE_U | PTE_D  # data window: never executable
         tables = self._sv39x4.map(
-            _RawAccessor(self._dram), cvm.hgatp_root, gpa, pa, flags, alloc_table
+            self._accessor, cvm.hgatp_root, gpa, pa, flags, alloc_table
         )
         for table in tables:
             if not self._pool.contains(table, PAGE_SIZE):
                 raise SecurityViolation(
                     "private page-table page allocated outside the secure pool"
                 )
-        self._ledger.charge(
-            Category.PAGE_WALK, self._costs.page_walk_level * self._sv39x4.levels
-        )
+        self._charge_map_walk()
 
     def unmap_channel(self, cvm: ConfidentialVm, gpa: int, owner_token) -> int:
         """Remove one channel-window mapping; returns the frame.
@@ -190,24 +197,20 @@ class SplitTableManager:
         so a confused teardown can never unmap (and later scrub) a frame
         the CVM owns privately.
         """
-        pa = self._sv39x4.unmap(_RawAccessor(self._dram), cvm.hgatp_root, gpa)
+        pa = self._sv39x4.unmap(self._accessor, cvm.hgatp_root, gpa)
         owner = self._pool.owner_of(pa & ~(PAGE_SIZE - 1))
-        self._ledger.charge(Category.SM_LOGIC, self._costs.ownership_check)
+        self._charge_ownership()
         if owner != owner_token:
             raise SecurityViolation(
                 f"channel teardown of frame {pa:#x} owned by {owner!r}"
             )
-        self._ledger.charge(
-            Category.PAGE_WALK, self._costs.page_walk_level * self._sv39x4.levels
-        )
+        self._charge_map_walk()
         return pa
 
     def unmap_private(self, cvm: ConfidentialVm, gpa: int) -> int:
         """Remove a private mapping; returns the frame for scrubbing."""
-        pa = self._sv39x4.unmap(_RawAccessor(self._dram), cvm.hgatp_root, gpa)
-        self._ledger.charge(
-            Category.PAGE_WALK, self._costs.page_walk_level * self._sv39x4.levels
-        )
+        pa = self._sv39x4.unmap(self._accessor, cvm.hgatp_root, gpa)
+        self._charge_map_walk()
         return pa
 
 

@@ -35,14 +35,14 @@ def coremark_workload(iterations: int):
     def workload(ctx):
         base = ctx.session.layout.dram_base + (48 << 20)
         pages = [base + i * PAGE_SIZE for i in range(COREMARK_PROFILE.ws_pages)]
-        for page in pages:
-            ctx.touch(page)
+        ctx.touch_seq(pages)
         start = ctx.ledger.total
+        count = len(pages)
+        touches = COREMARK_PROFILE.touch_per_iter
         for i in range(iterations):
             ctx.compute(ITERATION_CYCLES)
-            offset = (i * COREMARK_PROFILE.touch_per_iter) % len(pages)
-            for k in range(COREMARK_PROFILE.touch_per_iter):
-                ctx.touch(pages[(offset + k) % len(pages)])
+            offset = (i * touches) % count
+            ctx.touch_seq(pages[(offset + k) % count] for k in range(touches))
         elapsed = ctx.ledger.total - start
         return {"iterations": iterations, "cycles": elapsed}
 

@@ -34,8 +34,7 @@ def cpu_bound_workload(profile: CpuWorkloadProfile, total_cycles: int | None = N
         # the paper's multi-billion-cycle runs this one-time cost is
         # negligible, so a scaled-down run must exclude it or the (cheaper)
         # SM fault path would skew the steady-state comparison.
-        for page in pages:
-            ctx.touch(page)
+        ctx.touch_seq(pages)
 
         mmio_every = (
             int(1e9) // profile.mmio_per_1e9 if profile.mmio_per_1e9 else None
@@ -50,8 +49,10 @@ def cpu_bound_workload(profile: CpuWorkloadProfile, total_cycles: int | None = N
             done += chunk
             # Stride through the hot set.
             start = (iteration * profile.touch_per_iter) % len(pages)
-            for k in range(profile.touch_per_iter):
-                ctx.touch(pages[(start + k) % len(pages)])
+            count = len(pages)
+            ctx.touch_seq(
+                pages[(start + k) % count] for k in range(profile.touch_per_iter)
+            )
             if mmio_every and done >= next_mmio:
                 ctx.mmio_write(CONSOLE_GPA, 0x2E)  # progress dot
                 next_mmio += mmio_every

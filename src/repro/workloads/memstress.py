@@ -18,8 +18,9 @@ def sequential_write_stress(pages: int, start_offset: int = 16 << 20):
 
     def workload(ctx):
         base = ctx.session.layout.dram_base + start_offset
-        for i in range(pages):
-            ctx.store(base + i * PAGE_SIZE, i)
+        # Batched stores: identical per-page architectural sequence to the
+        # old explicit loop, minus the Python call overhead.
+        ctx.store_seq(base, range(pages), stride=PAGE_SIZE)
         return {"pages": pages}
 
     return workload

@@ -397,8 +397,7 @@ def redis_server_workload(client: RedisBenchmarkClient, spec: OpSpec):
             ])
         base = ctx.session.layout.dram_base + (64 << 20)
         pages = [base + i * PAGE_SIZE for i in range(SERVER_WS_PAGES)]
-        for page in pages:
-            ctx.touch(page)
+        ctx.touch_seq(pages)
 
         driver = ctx.net_driver()
         driver.post_rx_buffers(max(8, min(32, client.pipeline)))
@@ -436,8 +435,11 @@ def redis_server_workload(client: RedisBenchmarkClient, spec: OpSpec):
                 ctx.compute(PARSE_DISPATCH_CYCLES)
                 ctx.compute(COMMAND_CYCLES.get(name, 5_000))
                 offset = (served * SERVER_TOUCH_PER_REQUEST) % len(pages)
-                for k in range(SERVER_TOUCH_PER_REQUEST):
-                    ctx.touch(pages[(offset + k) % len(pages)])
+                count = len(pages)
+                ctx.touch_seq(
+                    pages[(offset + k) % count]
+                    for k in range(SERVER_TOUCH_PER_REQUEST)
+                )
                 replies.append(server.execute(parts))
                 served += 1
             ctx.compute(

@@ -63,3 +63,66 @@ def test_nested_spans():
         ledger.charge(Category.COMPUTE, 10)
     assert inner.cycles == 5
     assert outer.cycles == 25
+
+
+def test_nested_span_breakdown_propagates_to_parent():
+    """A child span's categories must appear in the enclosing span's
+    breakdown even when the parent never charged them directly."""
+    ledger = CycleLedger()
+    with ledger.span() as outer:
+        ledger.charge(Category.COMPUTE, 10)
+        with ledger.span() as inner:
+            ledger.charge(Category.TRAP, 5)
+            ledger.charge(Category.PMP, 3)
+    assert inner.breakdown == {Category.TRAP: 5, Category.PMP: 3}
+    assert outer.breakdown == {
+        Category.COMPUTE: 10,
+        Category.TRAP: 5,
+        Category.PMP: 3,
+    }
+
+
+def test_adjacent_spans_do_not_leak_categories():
+    """Sequential (sibling) spans each see only their own charges."""
+    ledger = CycleLedger()
+    with ledger.span() as first:
+        ledger.charge(Category.TRAP, 7)
+    with ledger.span() as second:
+        ledger.charge(Category.COPY, 4)
+    assert first.breakdown == {Category.TRAP: 7}
+    assert second.breakdown == {Category.COPY: 4}
+    assert first.cycles == 7
+    assert second.cycles == 4
+
+
+def test_deeply_nested_spans_accumulate_through_every_level():
+    ledger = CycleLedger()
+    with ledger.span() as a:
+        with ledger.span() as b:
+            with ledger.span() as c:
+                ledger.charge(Category.ALLOC, 2)
+            ledger.charge(Category.SM_LOGIC, 1)
+    assert c.breakdown == {Category.ALLOC: 2}
+    assert b.breakdown == {Category.ALLOC: 2, Category.SM_LOGIC: 1}
+    assert a.breakdown == {Category.ALLOC: 2, Category.SM_LOGIC: 1}
+
+
+def test_zero_charge_inside_span_excluded_from_breakdown():
+    """Zero-cycle charges mark the category in by_category() but produce
+    no breakdown entry (no cycles were spent in the window)."""
+    ledger = CycleLedger()
+    with ledger.span() as span:
+        ledger.charge(Category.IDLE, 0)
+        ledger.charge(Category.COMPUTE, 6)
+    assert span.breakdown == {Category.COMPUTE: 6}
+    assert Category.IDLE in ledger.by_category()
+
+
+def test_span_close_is_idempotent():
+    ledger = CycleLedger()
+    span = ledger.span()
+    with span:
+        ledger.charge(Category.TRAP, 9)
+    span.close()  # second close must not re-pop or change results
+    assert span.cycles == 9
+    assert span.breakdown == {Category.TRAP: 9}

@@ -138,3 +138,64 @@ class TestMemoryBus:
         bus.dma_check_range(0, BASE, 4096, AccessType.LOAD)
         with pytest.raises(TrapRaised):
             bus.dma_check_range(0, BASE, 4096, AccessType.STORE)
+
+
+class TestPageStraddlingAndBounds:
+    """The single-page fast paths must leave straddling and bounds
+    behaviour exactly as the generic loops had it."""
+
+    def test_write_read_straddling_a_page_boundary(self, dram):
+        addr = BASE + PAGE_SIZE - 3
+        dram.write(addr, b"straddle")
+        assert dram.read(addr, 8) == b"straddle"
+        # Each side is independently readable through the fast path.
+        assert dram.read(addr, 3) == b"str"
+        assert dram.read(BASE + PAGE_SIZE, 5) == b"addle"
+
+    def test_read_straddling_into_untouched_page_returns_zeros(self, dram):
+        dram.write(BASE + PAGE_SIZE - 2, b"ab")
+        assert dram.read(BASE + PAGE_SIZE - 2, 6) == b"ab" + bytes(4)
+
+    def test_multi_page_write_spans_three_pages(self, dram):
+        data = bytes(range(256)) * 33  # 8448 bytes > 2 pages
+        addr = BASE + PAGE_SIZE - 100
+        dram.write(addr, data)
+        assert dram.read(addr, len(data)) == data
+
+    def test_read_past_end_rejected(self, dram):
+        with pytest.raises(MemoryError_):
+            dram.read(dram.end - 4, 8)
+        with pytest.raises(MemoryError_):
+            dram.read(dram.end, 1)
+
+    def test_write_past_end_rejected(self, dram):
+        with pytest.raises(MemoryError_):
+            dram.write(dram.end - 2, b"1234")
+
+    def test_read_below_base_rejected(self, dram):
+        with pytest.raises(MemoryError_):
+            dram.read(BASE - 8, 8)
+
+    def test_negative_size_rejected(self, dram):
+        with pytest.raises(MemoryError_):
+            dram.read(BASE, -1)
+
+    def test_last_aligned_u64_slot_works(self, dram):
+        addr = dram.end - 8
+        dram.write_u64(addr, 0xDEAD_BEEF_CAFE_F00D)
+        assert dram.read_u64(addr) == 0xDEAD_BEEF_CAFE_F00D
+
+    def test_u64_past_end_rejected(self, dram):
+        with pytest.raises(MemoryError_):
+            dram.read_u64(dram.end)
+        with pytest.raises(MemoryError_):
+            dram.write_u64(dram.end, 1)
+
+    def test_misaligned_u64_rejected(self, dram):
+        with pytest.raises(MemoryError_):
+            dram.read_u64(BASE + 4)
+        with pytest.raises(MemoryError_):
+            dram.write_u64(BASE + 1, 0)
+
+    def test_u64_read_of_untouched_page_is_zero(self, dram):
+        assert dram.read_u64(BASE + 8 * PAGE_SIZE) == 0

@@ -93,3 +93,70 @@ def test_page_flushes_counted_separately_from_flushes():
     tlb.flush_vmid(1)
     assert tlb.flushes == 2
     assert tlb.page_flushes == 2
+
+
+# -- per-vmid index consistency (flush_vmid without a full scan) ----------
+
+
+def test_flush_vmid_drops_exactly_that_vmid():
+    tlb = Tlb()
+    for vpage in range(3):
+        tlb.insert(7, vpage, vpage + 100, 0)
+    tlb.insert(8, 0, 200, 0)
+    tlb.flush_vmid(7)
+    assert tlb.flushes == 1  # one hfence-scale event, however many entries
+    assert len(tlb) == 1
+    assert tlb.lookup(8, 0) == (200, 0)
+
+
+def test_flush_vmid_after_eviction_skips_evicted_entries():
+    """LRU eviction must also retire the entry from the per-vmid index,
+    or a later flush_vmid would try to delete it twice."""
+    tlb = Tlb(capacity=2)
+    tlb.insert(1, 0, 10, 0)
+    tlb.insert(1, 1, 11, 0)
+    tlb.insert(1, 2, 12, 0)  # evicts (1, 0)
+    tlb.flush_vmid(1)  # must not raise on the already-evicted entry
+    assert tlb.flushes == 1
+    assert len(tlb) == 0
+
+
+def test_flush_vmid_after_flush_page_skips_flushed_entries():
+    tlb = Tlb()
+    tlb.insert(1, 5, 6, 0)
+    tlb.insert(1, 7, 8, 0)
+    tlb.flush_page(1, 5)
+    tlb.flush_vmid(1)  # must not raise on the already-flushed page
+    assert tlb.flushes == 1
+    assert tlb.page_flushes == 1
+    assert tlb.lookup(1, 7) is None
+
+
+def test_flush_vmid_on_empty_vmid_still_counts_the_fence():
+    tlb = Tlb()
+    tlb.insert(3, 1, 2, 0)
+    tlb.flush_vmid(3)
+    tlb.flush_vmid(3)  # nothing left, but the hfence was still issued
+    assert tlb.flushes == 2
+    assert len(tlb) == 0
+
+
+def test_reinsert_after_flush_vmid():
+    tlb = Tlb()
+    tlb.insert(4, 9, 90, 0b111)
+    tlb.flush_vmid(4)
+    tlb.insert(4, 9, 91, 0b011)
+    assert tlb.lookup(4, 9) == (91, 0b011)
+    tlb.flush_vmid(4)
+    assert tlb.lookup(4, 9) is None
+
+
+def test_eviction_across_vmids_keeps_other_vmid_flushable():
+    tlb = Tlb(capacity=2)
+    tlb.insert(1, 0, 10, 0)
+    tlb.insert(2, 0, 20, 0)
+    tlb.insert(2, 1, 21, 0)  # evicts vmid 1's only entry
+    tlb.flush_vmid(1)  # nothing left for vmid 1; must not raise
+    tlb.flush_vmid(2)
+    assert tlb.flushes == 2
+    assert len(tlb) == 0
