@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install verify test bench bench-full experiments faults perf examples clean
+.PHONY: install verify test bench bench-full experiments faults perf lint examples clean
 
 install:
 	pip install -e .
@@ -27,6 +27,11 @@ experiments:
 # Wall-clock perf suite with cycle-exactness golden check (INTERNALS §11).
 perf:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro perf
+
+# zionlint: static trust-boundary/taint/charging analysis (INTERNALS §12).
+# Fails on findings that are neither pragma-suppressed nor baselined.
+lint:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro lint
 
 # Seeded adversarial fault-injection campaign (see docs/INTERNALS.md §10).
 faults:

@@ -14,7 +14,11 @@ Commands:
 - ``perf [--quick] [--out PATH]`` — wall-clock performance harness:
   run the fixed scenario suite, emit ``BENCH_PERF.json`` and verify
   simulated cycle totals against the committed goldens (any deviation
-  means the *model* changed, which an optimization must never do).
+  means the *model* changed, which an optimization must never do);
+- ``lint [paths] [--json] [--baseline FILE]`` — zionlint, the static
+  trust-boundary/taint/charging analyzer for the SM seam (INTERNALS
+  §12); exits non-zero on findings that are neither pragma-suppressed
+  nor baselined.
 """
 
 from __future__ import annotations
@@ -212,6 +216,12 @@ def _cmd_perf(args) -> int:
     return 1 if problems else 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.engine import run_cli
+
+    return run_cli(args)
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -251,6 +261,11 @@ def main(argv=None) -> int:
     perf.add_argument("--update-goldens", action="store_true",
                       help="re-record golden cycle totals (model changes only)")
     perf.set_defaults(func=_cmd_perf)
+    lint = sub.add_parser("lint", help="zionlint static boundary analyzer")
+    from repro.lint.engine import add_arguments as _lint_add_arguments
+
+    _lint_add_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -209,12 +209,14 @@ class Hypervisor:
         """Provision host resources for an SM-created CVM (e.g. migrated in).
 
         Performs the same donation sequence as creation -- shared vCPU
-        pages, shared subtree, premapped window -- then finalizes.
+        pages, shared subtree, premapped window -- then finalizes.  The
+        CVM's shape (vCPU count, GPA layout) comes from the DESCRIBE_CVM
+        ECALL: the host never touches the SM's CVM registry directly.
         """
-        cvm = monitor.cvms[cvm_id]
-        handle = CvmHostHandle(cvm_id, cvm.layout)
+        descriptor = monitor.ecall_describe_cvm(cvm_id)
+        handle = CvmHostHandle(cvm_id, descriptor.layout)
         self.cvm_handles[cvm_id] = handle
-        for vcpu_id in range(len(cvm.vcpus)):
+        for vcpu_id in range(descriptor.vcpu_count):
             page = self.allocator.alloc()
             self.bus.dram.zero_range(page, PAGE_SIZE)
             monitor.ecall_assign_shared_vcpu(cvm_id, vcpu_id, page)

@@ -1,0 +1,82 @@
+"""Small AST helpers shared by every zionlint rule."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` chains; ``None`` for anything non-trivial.
+
+    ``monitor.cvms`` -> ``"monitor.cvms"``; a chain rooted in a call or
+    subscript (``f().x``) renders its tail only (``".x"`` is dropped --
+    the caller sees ``None`` for the root and should fall back to the
+    attribute name itself).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """The bare name a call resolves through: ``x.y.f(...)`` -> ``"f"``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def receiver_tail(call: ast.Call) -> str | None:
+    """Last component of a method call's receiver: ``a.b.dram.read()`` -> ``"dram"``."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
+
+
+def iter_functions(tree: ast.Module) -> Iterator[tuple[str, ast.AST]]:
+    """Yield ``(qualname, def-node)`` for every function, nested included."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from walk(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+
+    yield from walk(tree, "")
+
+
+def names_in(node: ast.AST) -> set[str]:
+    """Every plain ``Name`` referenced anywhere inside ``node``."""
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def is_terminating(stmt: ast.stmt) -> bool:
+    """Whether a statement unconditionally leaves the current block."""
+    return isinstance(stmt, (ast.Raise, ast.Return, ast.Continue, ast.Break))
+
+
+def is_guard(node: ast.If) -> bool:
+    """An ``if`` whose body only rejects (raise/return/continue/break).
+
+    This is the shape Check-after-Load takes in code: test the loaded
+    value, bail out if it is unacceptable.  The tested names are treated
+    as validated afterwards.
+    """
+    return all(is_terminating(s) for s in node.body) and not node.orelse

@@ -1,0 +1,116 @@
+"""ZL3 -- charging discipline for SM and memory-subsystem code.
+
+Paper clause (PAPER.md §Evaluation; INTERNALS §11 cycle-exactness): the
+reproduction's performance claims rest on the :class:`CycleLedger`
+seeing every modelled memory touch -- the wall-clock goldens are only
+meaningful if DRAM traffic and page-table walks are charged where they
+happen.  A function that reads or writes physical memory, or walks a
+stage-2 table, without charging the ledger silently deflates the very
+numbers the paper reproduces.
+
+Rule: any function in ``sm/`` or ``mem/`` that calls a raw physical
+memory operation (:data:`RAW_MEM_OPS` on a DRAM receiver) or a
+page-table walk (:data:`WALK_OPS` on an Sv39x4 receiver) must also
+contain a charge -- a call named ``charge`` or ``_charge*`` (the
+precompiled :meth:`CycleLedger.charger` closures are bound to
+``_charge_...`` names).
+
+Approximations, by design:
+
+- per-function *presence*, not per-path dominance (every-path analysis
+  is a ROADMAP follow-up);
+- modules that are themselves the costed abstraction are exempt
+  (:data:`EXEMPT_MODULES`): ``physmem.py`` *is* the DRAM device,
+  ``pagetable.py`` is pure geometry whose traffic the caller's accessor
+  charges, ``tlb.py`` is bookkeeping charged by the translator.
+
+A function that delegates charging to its caller states so with a
+``# zionlint: disable=ZL3 <reason>`` pragma on its ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import call_name, iter_functions, receiver_tail
+from repro.lint.findings import Finding
+
+RULE = "ZL3"
+
+RAW_MEM_OPS = {"read", "write", "read_u64", "write_u64", "zero_range"}
+RAW_MEM_RECEIVERS = {"dram", "_dram"}
+
+WALK_OPS = {"walk", "map", "unmap"}
+WALK_RECEIVERS = {"sv39x4", "_sv39x4"}
+
+#: Module basenames exempt from ZL3 (see module docstring for reasons).
+EXEMPT_MODULES = {"physmem.py", "pagetable.py", "tlb.py"}
+
+_WHY = (
+    "cycle-exactness: the ledger must see every modelled memory touch or "
+    "the reproduced wall-clock numbers silently deflate"
+)
+
+
+def _is_charge(call: ast.Call) -> bool:
+    name = call_name(call)
+    return name is not None and (name == "charge" or name.startswith("_charge"))
+
+
+def _memory_touches(fn: ast.AST) -> list[tuple[int, str]]:
+    """(line, description) for each raw memory op / table walk in ``fn``."""
+    touches = []
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+            # Nested functions are checked on their own.
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        tail = receiver_tail(node)
+        if name in RAW_MEM_OPS and tail in RAW_MEM_RECEIVERS:
+            touches.append((node.lineno, f"raw memory access '{name}'"))
+        elif name in WALK_OPS and tail in WALK_RECEIVERS:
+            touches.append((node.lineno, f"page-table walk '{name}'"))
+    return touches
+
+
+def _nested_lines(fn: ast.AST) -> set[int]:
+    lines: set[int] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+            end = getattr(node, "end_lineno", node.lineno)
+            lines.update(range(node.lineno, end + 1))
+    return lines
+
+
+def check(tree: ast.Module, path: str) -> list[Finding]:
+    """Run ZL3 over one SM/mem module."""
+    findings = []
+    for qual, fn in iter_functions(tree):
+        nested = _nested_lines(fn)
+        touches = [t for t in _memory_touches(fn) if t[0] not in nested]
+        if not touches:
+            continue
+        charges = any(
+            isinstance(node, ast.Call)
+            and node.lineno not in nested
+            and _is_charge(node)
+            for node in ast.walk(fn)
+        )
+        if charges:
+            continue
+        line, what = touches[0]
+        extra = f" (+{len(touches) - 1} more)" if len(touches) > 1 else ""
+        findings.append(
+            Finding(
+                rule=RULE,
+                path=path,
+                line=line,
+                func=qual,
+                message=f"{what}{extra} with no CycleLedger charge in the function",
+                why=_WHY,
+                def_line=fn.lineno,
+            )
+        )
+    return findings

@@ -1,0 +1,251 @@
+"""zionlint engine: file discovery, rule routing, reporting, CLI.
+
+Domain routing mirrors the trust structure the rules encode:
+
+=========  =======================================  =====================
+domain     directories                              rules
+=========  =======================================  =====================
+untrusted  ``hyp/``, ``guest/``, ``workloads/``,    ZL1 (+ ZL2 on ipc/,
+           ``ipc/``                                 whose ring reads are
+                                                    shared-memory loads)
+sm         ``sm/``                                  ZL2, ZL3, ZL4
+mem        ``mem/``                                 ZL3
+=========  =======================================  =====================
+
+Everything else (``isa/``, ``cycles/``, ``bench/``, the machine glue,
+and this package itself) is currently out of scope -- extending ZL3 to
+``isa/`` is a ROADMAP follow-up.  ZL0 (pragma hygiene) runs everywhere
+a pragma appears.
+
+Exit status: 0 when every finding is pragma-suppressed or baselined,
+1 when new findings exist, 2 on usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+from repro.lint import boundary, charging, pairing, taint
+from repro.lint.findings import Finding, PragmaMap, load_baseline, save_baseline
+
+UNTRUSTED_DIRS = {"hyp", "guest", "workloads", "ipc"}
+SM_DIRS = {"sm"}
+MEM_DIRS = {"mem"}
+_KNOWN_DIRS = UNTRUSTED_DIRS | SM_DIRS | MEM_DIRS
+
+RULE_ORDER = ("ZL0", "ZL1", "ZL2", "ZL3", "ZL4")
+
+
+def _package_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def _display_path(path: Path) -> str:
+    """Stable repo-relative path (``src/repro/...``) when possible."""
+    resolved = path.resolve()
+    repo_root = _package_root().parent.parent  # src/repro -> repo
+    try:
+        return resolved.relative_to(repo_root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _domain_of(path: Path) -> str | None:
+    """Classify by the *last* known directory name in the path."""
+    for part in reversed(path.parts[:-1]):
+        if part in _KNOWN_DIRS:
+            return part
+    return None
+
+
+def discover_files(paths=None) -> list[Path]:
+    """Python files to lint: the whole package, or the given paths."""
+    if not paths:
+        return sorted(_package_root().rglob("*.py"))
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        else:
+            out.append(p)
+    return out
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one lint run, pre-split by suppression layer."""
+
+    new: list[Finding]
+    pragma_suppressed: list[Finding]
+    baselined: list[Finding]
+    pragma_count: int
+    files: int
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return self.new + self.pragma_suppressed + self.baselined
+
+    def counts(self, findings=None) -> dict[str, int]:
+        counts = {rule: 0 for rule in RULE_ORDER}
+        for f in self.new if findings is None else findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return {rule: n for rule, n in counts.items() if n}
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "files": self.files,
+            "pragmas": self.pragma_count,
+            "counts": {
+                "new": self.counts(self.new),
+                "pragma_suppressed": self.counts(self.pragma_suppressed),
+                "baselined": self.counts(self.baselined),
+            },
+            "findings": [f.to_json() for f in self.new],
+            "pragma_suppressed": [f.to_json() for f in self.pragma_suppressed],
+            "baselined": [f.to_json() for f in self.baselined],
+        }
+
+
+def run_lint(paths=None, baseline_keys=frozenset()) -> LintReport:
+    """Lint ``paths`` (default: the whole ``repro`` package)."""
+    files = discover_files(paths)
+    raw: list[Finding] = []
+    pragma_maps: list[tuple[PragmaMap, Path]] = []
+    sm_modules: list[tuple[ast.Module, str]] = []
+
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        display = _display_path(path)
+        tree = ast.parse(source, filename=str(path))
+        pragmas = PragmaMap(source, display)
+        pragma_maps.append((pragmas, path))
+        raw.extend(pragmas.meta_findings())
+
+        domain = _domain_of(path)
+        if domain in UNTRUSTED_DIRS:
+            raw.extend(boundary.check(tree, display))
+        if domain == "ipc":
+            raw.extend(taint.check(tree, display))
+        if domain in SM_DIRS:
+            raw.extend(taint.check(tree, display))
+            sm_modules.append((tree, display))
+            if path.name not in charging.EXEMPT_MODULES:
+                raw.extend(charging.check(tree, display))
+        if domain in MEM_DIRS and path.name not in charging.EXEMPT_MODULES:
+            raw.extend(charging.check(tree, display))
+
+    raw.extend(pairing.check_modules(sm_modules))
+    raw.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    by_path = {pm.path: pm for pm, _ in pragma_maps}
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in raw:
+        pragmas = by_path.get(finding.path)
+        if pragmas is not None and pragmas.suppresses(finding):
+            suppressed.append(finding)
+        elif finding.key in baseline_keys:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+
+    return LintReport(
+        new=new,
+        pragma_suppressed=suppressed,
+        baselined=baselined,
+        pragma_count=sum(len(pm) for pm, _ in pragma_maps),
+        files=len(files),
+    )
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def add_arguments(parser) -> None:
+    """Register the ``lint`` subcommand's options on ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the whole repro package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON of accepted findings "
+        "(default: src/repro/lint/baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON report on stdout instead of human output",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
+
+
+def run_cli(args) -> int:
+    """Entry point behind ``python -m repro lint``."""
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline_path()
+    try:
+        baseline_keys = load_baseline(baseline_path)
+    except ValueError as exc:
+        print(f"zionlint: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = run_lint(args.paths or None, baseline_keys)
+    except SyntaxError as exc:
+        print(f"zionlint: cannot parse {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        save_baseline(baseline_path, {f.key for f in report.new + report.baselined})
+        print(
+            f"zionlint: baseline {baseline_path} updated "
+            f"({len(report.new) + len(report.baselined)} accepted findings)"
+        )
+        return 0
+
+    payload = report.to_json()
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        for finding in report.new:
+            print(finding.render())
+        summary_counts = report.counts(report.new)
+        detail = (
+            ", ".join(f"{rule}:{n}" for rule, n in summary_counts.items())
+            if summary_counts
+            else "none"
+        )
+        print(
+            f"zionlint: {len(report.new)} new finding(s) [{detail}] over "
+            f"{report.files} file(s); {len(report.pragma_suppressed)} "
+            f"pragma-suppressed, {len(report.baselined)} baselined"
+        )
+    return 1 if report.new else 0

@@ -1,0 +1,129 @@
+"""Finding objects, suppression pragmas, and the accepted-findings baseline.
+
+A finding is one rule violation at one source location.  Its *key*
+deliberately excludes the line number so the baseline survives unrelated
+edits above a finding: two findings are "the same" when rule, file,
+enclosing function and message all match.
+
+Suppression has two layers:
+
+- **pragmas** -- ``# zionlint: disable=ZLn <reason>`` on the finding
+  line or on the enclosing ``def`` line silences matching rules there.
+  A pragma without a reason is itself reported (rule **ZL0**): a
+  suppression that does not explain *why* the seam is safe to cross is
+  exactly the silent drift this linter exists to stop.
+- **baseline** -- a committed JSON file of accepted finding keys; the
+  CLI exits non-zero only on findings that are in neither layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+
+#: ``# zionlint: disable=ZL1,ZL3 frame is host-owned`` -> rules + reason.
+PRAGMA_RE = re.compile(
+    r"#\s*zionlint:\s*disable=([A-Za-z0-9_,\s]*?[A-Za-z0-9_])(?:\s+(\S.*))?$"
+)
+
+BASELINE_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation: where, what, and why it is the ZION seam."""
+
+    rule: str      #: "ZL1".."ZL4" (or "ZL0" for meta findings)
+    path: str      #: repo-relative posix path
+    line: int      #: 1-based source line
+    func: str      #: enclosing function qualname, or "<module>"
+    message: str   #: what is wrong, one line
+    why: str       #: the paper clause this violates, one line
+    def_line: int = 0  #: line of the enclosing ``def`` (0 = none)
+
+    @property
+    def key(self) -> str:
+        """Line-independent identity used by the baseline file."""
+        return f"{self.rule}|{self.path}|{self.func}|{self.message}"
+
+    def to_json(self) -> dict:
+        entry = dataclasses.asdict(self)
+        del entry["def_line"]
+        entry["key"] = self.key
+        return entry
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.rule} [{self.func}] {self.message}\n"
+            f"    why: {self.why}"
+        )
+
+
+class PragmaMap:
+    """All ``zionlint: disable`` pragmas of one source file, by line."""
+
+    def __init__(self, source: str, path: str):
+        self.path = path
+        #: line -> (set of rule ids, reason-or-None, pragma line)
+        self._by_line: dict[int, tuple[set[str], str | None]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
+            self._by_line[lineno] = (rules, match.group(2))
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Pragma on the finding line or its ``def`` line matches its rule."""
+        for line in (finding.line, finding.def_line):
+            entry = self._by_line.get(line)
+            if entry is not None and finding.rule in entry[0]:
+                return True
+        return False
+
+    def meta_findings(self) -> list[Finding]:
+        """ZL0 findings: one per pragma that carries no reason."""
+        out = []
+        for line, (rules, reason) in sorted(self._by_line.items()):
+            if reason is None:
+                out.append(
+                    Finding(
+                        rule="ZL0",
+                        path=self.path,
+                        line=line,
+                        func="<module>",
+                        message=(
+                            "suppression pragma for "
+                            f"{','.join(sorted(rules))} gives no reason"
+                        ),
+                        why=(
+                            "an unexplained suppression hides exactly the "
+                            "boundary drift zionlint exists to catch"
+                        ),
+                    )
+                )
+        return out
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def load_baseline(path) -> set[str]:
+    """Accepted finding keys from a baseline JSON file (empty if absent)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return set()
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported zionlint baseline version in {path}")
+    return set(data.get("suppressions", []))
+
+
+def save_baseline(path, keys) -> None:
+    """Write a baseline file accepting exactly ``keys`` (sorted, stable)."""
+    payload = {"version": BASELINE_VERSION, "suppressions": sorted(keys)}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,129 @@
+"""ZL4 -- PMP/TLB pairing for SM mapping and pool transitions.
+
+Paper clause (PAPER.md §Design, world switch; THREAT_MODEL "stale
+translation"): ZION keeps the secure pool usable only because every PMP
+reconfiguration at a world switch and every stage-2 mapping change is
+paired with the matching translation flush -- ``hfence.gvma`` by VMID on
+the world-switch path, page-granular fences on map/unmap.  A toggle or
+remap whose stale TLB entry survives lets a CVM (or the host) keep using
+a translation the new PMP/stage-2 state forbids, which is precisely the
+window the fault campaign's TLB probes attack.
+
+Rule: a function that *calls* a PMP/mapping mutator
+(:data:`MUTATORS`) must reach a flush (:data:`FLUSHES`) in the same
+function or in a **direct callee** -- callees are resolved by bare name
+against every function in the analysed SM module set (one level deep;
+deeper reachability is a ROADMAP follow-up).
+
+The mutator set names the SM's *semantic* operations (``open_pool``,
+``map_private``, ...), not raw PTE stores -- the primitives are already
+wrapped by exactly these verbs, and flagging the wrappers themselves
+(their *definitions* contain no flush) would be noise: it is the call
+site that owns the transaction and therefore the fence.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import call_name, iter_functions
+from repro.lint.findings import Finding
+
+RULE = "ZL4"
+
+#: Pool-visibility toggles and stage-2 mapping mutators.
+MUTATORS = {
+    "open_pool",
+    "close_pool",
+    "add_pool_region",
+    "map_private",
+    "unmap_private",
+    "map_channel",
+    "unmap_channel",
+    "link_shared_subtree",
+}
+
+#: Translation flushes that make the new state visible.
+FLUSHES = {
+    "hfence_gvma",
+    "sfence_page",
+    "flush_all",
+    "flush_vmid",
+    "flush_page",
+}
+
+_WHY = (
+    "stale-translation window: a PMP/stage-2 change without the paired "
+    "flush leaves a TLB entry the new state forbids"
+)
+
+
+def _calls_in(fn: ast.AST) -> set[str]:
+    names = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name is not None:
+                names.add(name)
+    return names
+
+
+def check_modules(modules: list[tuple[ast.Module, str]]) -> list[Finding]:
+    """Run ZL4 over the whole SM module set at once.
+
+    Cross-module analysis is needed because the flush often lives in a
+    helper defined elsewhere in ``sm/`` (e.g. the world switch calling
+    a monitor helper); direct callees are matched by bare name.
+    """
+    # qualname-tail -> called-name-set for every analysed function.
+    functions: dict[str, tuple[str, str, int, ast.AST]] = {}
+    call_map: dict[int, set[str]] = {}
+    per_name: dict[str, list[int]] = {}
+    entries = []
+    for tree, path in modules:
+        for qual, fn in iter_functions(tree):
+            idx = len(entries)
+            entries.append((qual, fn, path))
+            call_map[idx] = _calls_in(fn)
+            per_name.setdefault(fn.name, []).append(idx)
+
+    findings = []
+    for idx, (qual, fn, path) in enumerate(entries):
+        calls = call_map[idx]
+        used_mutators = sorted(calls & MUTATORS)
+        if not used_mutators:
+            continue
+        if calls & FLUSHES:
+            continue
+        # One level of direct callees, matched by bare name.
+        flushed = False
+        for callee in calls:
+            for target in per_name.get(callee, []):
+                if call_map[target] & FLUSHES:
+                    flushed = True
+                    break
+            if flushed:
+                break
+        if flushed:
+            continue
+        # Anchor the finding at the first mutator call site.
+        line = fn.lineno
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and call_name(node) in MUTATORS:
+                line = node.lineno
+                break
+        findings.append(
+            Finding(
+                rule=RULE,
+                path=path,
+                line=line,
+                func=qual,
+                message=(
+                    f"mutator(s) {', '.join(used_mutators)} with no reachable "
+                    "TLB/VMID flush (function or direct callees)"
+                ),
+                why=_WHY,
+                def_line=fn.lineno,
+            )
+        )
+    return findings

@@ -101,7 +101,7 @@ class AddressTranslator:
         Raises the guest-page fault for ``access`` when unmapped or when
         the leaf lacks the needed permission.
         """
-        result = self.sv39x4.walk(self._accessor, hgatp_root, gpa)
+        result = self.sv39x4.walk(self._accessor, hgatp_root, gpa)  # zionlint: disable=ZL3 per-PTE cost is charged inside the walker accessor (_RawAccessor.read_u64)
         if result is None or not result.flags & access.required_pte_bit:
             raise TrapRaised(
                 guest_page_fault_for(access),

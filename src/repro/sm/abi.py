@@ -19,6 +19,7 @@ and bound-checks against the caller's own memory.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 
 from repro.errors import EcallError, SecurityViolation, TrapRaised
@@ -55,6 +56,26 @@ class HostFunction(enum.IntEnum):
     SUSPEND = 7
     RESUME = 8
     DESTROY = 9
+    DESCRIBE_CVM = 10
+
+
+@dataclasses.dataclass(frozen=True)
+class CvmDescriptor:
+    """DESCRIBE_CVM reply: what the host may learn about a CVM.
+
+    This is the *entire* host-visible summary -- id, vCPU count, GPA
+    layout, lifecycle state name.  Secure vCPU contents, table roots and
+    pool geometry are deliberately absent: the descriptor exists so the
+    hypervisor can provision host-side resources for a CVM it did not
+    create (the migration adopt path) without reaching into SM state.
+    In the register convention the vCPU count rides in ``a1``; a real
+    firmware would marshal the rest through a host-supplied buffer.
+    """
+
+    cvm_id: int
+    vcpu_count: int
+    layout: "GpaLayout"  # noqa: F821 -- repro.sm.cvm; annotation only
+    state: str
 
 
 class GuestFunction(enum.IntEnum):
@@ -155,6 +176,9 @@ class EcallInterface:
         if fid == HostFunction.DESTROY:
             monitor.ecall_destroy(args[0])
             return SbiError.SUCCESS, 0
+        if fid == HostFunction.DESCRIBE_CVM:
+            descriptor = monitor.ecall_describe_cvm(args[0])
+            return SbiError.SUCCESS, descriptor.vcpu_count
         return SbiError.NOT_SUPPORTED, 0
 
     # -- guest extension ------------------------------------------------------
@@ -245,7 +269,7 @@ class EcallInterface:
     def _read_guest_buffer(self, cvm, gpa: int, length: int) -> bytes:
         if length == 0:
             return b""
-        return self.monitor.dram.read(self._guest_pa(cvm, gpa, length), length)
+        return self.monitor.dram.read(self._guest_pa(cvm, gpa, length), length)  # zionlint: disable=ZL3 SBI buffer copies ride in the ECALL's fixed dispatch cost; per-byte charging is a golden-affecting ROADMAP change
 
     def _write_guest_buffer(self, cvm, gpa: int, data: bytes) -> None:
-        self.monitor.dram.write(self._guest_pa(cvm, gpa, len(data)), data)
+        self.monitor.dram.write(self._guest_pa(cvm, gpa, len(data)), data)  # zionlint: disable=ZL3 SBI buffer copies ride in the ECALL's fixed dispatch cost; per-byte charging is a golden-affecting ROADMAP change

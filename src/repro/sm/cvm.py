@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 
+from repro.errors import EcallError
 from repro.sm.attestation import MeasurementLog
 from repro.sm.vcpu import SecureVcpu, SharedVcpu
 
@@ -99,7 +100,14 @@ class ConfidentialVm:
         self.exit_reasons: dict[str, int] = {}
 
     def vcpu(self, vcpu_id: int) -> SecureVcpu:
-        """The secure vCPU record with the given id."""
+        """The secure vCPU record with the given id (bounds-checked).
+
+        Callers frequently pass register-supplied ids; rejecting here
+        keeps a bad id an ``INVALID_PARAM`` at the ABI instead of a
+        negative-index wrap or an IndexError unwinding the simulator.
+        """
+        if not 0 <= vcpu_id < len(self.vcpus):
+            raise EcallError(f"CVM {self.cvm_id} has no vCPU {vcpu_id}")
         return self.vcpus[vcpu_id]
 
     def require_state(self, *allowed: CvmState) -> None:

@@ -16,6 +16,7 @@ from repro.cycles import Category, CycleCosts, CycleLedger
 from repro.errors import EcallError, SecurityViolation, TrapRaised
 from repro.isa.traps import AccessType
 from repro.mem.physmem import PAGE_SIZE
+from repro.sm.abi import CvmDescriptor
 from repro.sm.alloc import AllocStage, HierarchicalAllocator, PoolExhausted
 from repro.sm.attestation import AttestationReport, AttestationService
 from repro.sm.channel import ChannelManager
@@ -181,6 +182,11 @@ class SecureMonitor:
         self._charge_ecall()
         cvm = self._cvm(cvm_id)
         cvm.require_state(CvmState.CREATED)
+        # Check-after-Load: vcpu_id arrives in a hypervisor register; an
+        # unvalidated value would wrap negatively or raise IndexError
+        # straight through the ABI's error mapping (simulator crash).
+        if not 0 <= vcpu_id < len(cvm.shared_vcpus):
+            raise EcallError(f"CVM {cvm_id} has no vCPU {vcpu_id}")
         if self.pool.contains(base_pa, SHARED_VCPU_SIZE):
             raise SecurityViolation("shared vCPU area must be normal memory")
         cvm.shared_vcpus[vcpu_id] = SharedVcpu(base_pa, self.bus)
@@ -235,7 +241,10 @@ class SecureMonitor:
         self._charge_ecall()
         cvm = self._cvm(cvm_id)
         cvm.require_state(CvmState.CREATED, CvmState.FINALIZED, CvmState.RUNNING)
-        self.split.link_shared_subtree(cvm, root_index, table_pa)
+        # The shared root slot held no translation before the link (the SM
+        # never maps the shared half), so there is no stale entry to
+        # flush; flushing on *re*-link is a ROADMAP model change.
+        self.split.link_shared_subtree(cvm, root_index, table_pa)  # zionlint: disable=ZL4 first link of an empty shared root slot: no prior translation can be cached
 
     def ecall_suspend(self, cvm_id: int) -> None:
         """Park a runnable CVM (required before migration export)."""
@@ -250,6 +259,23 @@ class SecureMonitor:
         cvm = self._cvm(cvm_id)
         cvm.require_state(CvmState.SUSPENDED)
         cvm.state = CvmState.FINALIZED
+
+    def ecall_describe_cvm(self, cvm_id: int) -> CvmDescriptor:
+        """Host-visible summary of a CVM (the DESCRIBE_CVM ECALL).
+
+        The sanctioned way for the hypervisor to learn a CVM's shape --
+        vCPU count and GPA layout -- when provisioning host resources
+        for a CVM it did not create (migration adopt path).  Exposes
+        nothing the host could not already observe at creation time.
+        """
+        self._charge_ecall()
+        cvm = self._cvm(cvm_id)
+        return CvmDescriptor(
+            cvm_id=cvm.cvm_id,
+            vcpu_count=len(cvm.vcpus),
+            layout=cvm.layout,
+            state=cvm.state.value,
+        )
 
     def ecall_destroy(self, cvm_id: int) -> None:
         """Destroy a CVM: scrub every owned frame, recycle its blocks."""
@@ -357,6 +383,11 @@ class SecureMonitor:
         cvm = self._cvm(cvm_id)
         if gpa % PAGE_SIZE:
             raise EcallError("reclaim GPA must be page-aligned")
+        # Check-after-Load: the count register bounds SM work below; an
+        # unvalidated value lets a guest pin the monitor in this loop
+        # (one stage-2 walk per iteration) for arbitrarily long.
+        if not 0 <= count <= cvm.layout.dram_size // PAGE_SIZE:
+            raise EcallError(f"reclaim count {count} exceeds the private region")
         allocator = self._allocators[cvm_id]
         cache = allocator.cache_for(vcpu_id)
         reclaimed = 0
@@ -456,7 +487,7 @@ class SecureMonitor:
     def _alloc_and_map(self, cvm: ConfidentialVm, vcpu_id: int, gpa: int) -> int:
         """Allocation + mapping used by image loading (no fault framing)."""
         pa, _stage = self._alloc_page_with_expansion(None, cvm, vcpu_id)
-        self.split.map_private(cvm, gpa, pa, self._alloc_table_page)
+        self.split.map_private(cvm, gpa, pa, self._alloc_table_page)  # zionlint: disable=ZL4 pre-finalize image load: the CVM has never executed, so no translation is cached
         return pa
 
     #: Pool-expansion attempts per allocation before the SM gives up.  The

@@ -91,7 +91,7 @@ class SplitTableManager:
     def _validate_subtree(self, table_pa: int, depth: int) -> None:
         """Reject any existing PTE in a donated subtree that reaches the pool."""
         for index in range(512):
-            pte = self._dram.read_u64(table_pa + 8 * index)
+            pte = self._dram.read_u64(table_pa + 8 * index)  # zionlint: disable=ZL3 donated-subtree validation is outside the paper's cost model; charging it is a golden-affecting ROADMAP change
             if not pte & 1:
                 continue
             target = pte_target(pte)
@@ -221,7 +221,7 @@ class _RawAccessor:
         self._dram = dram
 
     def read_u64(self, addr: int) -> int:
-        return self._dram.read_u64(addr)
+        return self._dram.read_u64(addr)  # zionlint: disable=ZL3 PTE traffic is charged in bulk via _charge_map_walk at every map/unmap call site
 
     def write_u64(self, addr: int, value: int) -> None:
-        self._dram.write_u64(addr, value)
+        self._dram.write_u64(addr, value)  # zionlint: disable=ZL3 PTE traffic is charged in bulk via _charge_map_walk at every map/unmap call site

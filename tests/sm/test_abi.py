@@ -279,3 +279,68 @@ class TestAbiErrorPaths:
         assert all(
             error in (SbiError.INVALID_PARAM, SbiError.DENIED) for error in results
         )
+
+
+class TestDescribeCvm:
+    """DESCRIBE_CVM: the sanctioned host view of a CVM's shape."""
+
+    def test_describe_returns_vcpu_count_in_registers(self, machine):
+        _, cvm_id = _host_call(machine, HostFunction.CREATE_CVM, 2)
+        error, count = _host_call(machine, HostFunction.DESCRIBE_CVM, cvm_id)
+        assert error == SbiError.SUCCESS
+        assert count == 2
+
+    def test_describe_unknown_cvm_is_invalid_param(self, machine):
+        error, _ = _host_call(machine, HostFunction.DESCRIBE_CVM, 999)
+        assert error == SbiError.INVALID_PARAM
+
+    def test_descriptor_exposes_shape_not_secrets(self, machine):
+        _, cvm_id = _host_call(machine, HostFunction.CREATE_CVM, 1)
+        descriptor = machine.monitor.ecall_describe_cvm(cvm_id)
+        cvm = machine.monitor.cvms[cvm_id]
+        assert descriptor.cvm_id == cvm_id
+        assert descriptor.layout == cvm.layout
+        assert descriptor.state == "created"
+        # No table roots, secure vCPU state, or pool geometry leak out.
+        assert not hasattr(descriptor, "hgatp_root")
+        assert not hasattr(descriptor, "vcpus")
+
+
+class TestRegisterArgumentValidation:
+    """Check-after-Load on register-supplied ids and lengths."""
+
+    def test_assign_shared_vcpu_rejects_out_of_range_id(self, machine):
+        _, cvm_id = _host_call(machine, HostFunction.CREATE_CVM, 1)
+        page = machine.host_allocator.alloc()
+        error, _ = _host_call(
+            machine, HostFunction.ASSIGN_SHARED_VCPU, cvm_id, 7, page
+        )
+        assert error == SbiError.INVALID_PARAM
+
+    def test_assign_shared_vcpu_rejects_negative_id(self, machine):
+        # Pre-fix, -1 silently wrapped to shared_vcpus[-1].
+        _, cvm_id = _host_call(machine, HostFunction.CREATE_CVM, 1)
+        page = machine.host_allocator.alloc()
+        error, _ = _host_call(
+            machine, HostFunction.ASSIGN_SHARED_VCPU, cvm_id, -1, page
+        )
+        assert error == SbiError.INVALID_PARAM
+
+    def test_set_entry_point_rejects_bad_vcpu_id(self, machine):
+        # Pre-fix this raised IndexError straight through the ABI.
+        _, cvm_id = _host_call(machine, HostFunction.CREATE_CVM, 1)
+        error, _ = _host_call(
+            machine, HostFunction.SET_ENTRY_POINT, cvm_id, 5, 0x8000_0000
+        )
+        assert error == SbiError.INVALID_PARAM
+
+    def test_reclaim_count_is_bounded(self, machine):
+        import pytest
+
+        from repro.errors import EcallError
+
+        session = machine.launch_confidential_vm(image=b"x")
+        with pytest.raises(EcallError):
+            machine.monitor.ecall_reclaim_pages(
+                session.cvm.cvm_id, 0, session.layout.dram_base, 1 << 40
+            )
