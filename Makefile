@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install verify test bench bench-full experiments faults perf lint examples clean
+.PHONY: install verify test bench bench-full experiments faults perf lint linkcheck redis-cluster examples clean
 
 install:
 	pip install -e .
@@ -32,6 +32,14 @@ perf:
 # Fails on findings that are neither pragma-suppressed nor baselined.
 lint:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro lint
+
+# Sharded redis over SM channels, one run with stats (docs/DATA_PLANE.md).
+redis-cluster:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro redis-cluster
+
+# Verify every relative link in README/docs resolves to a real file.
+linkcheck:
+	$(PYTHON) tools/check_links.py
 
 # Seeded adversarial fault-injection campaign (see docs/INTERNALS.md §10).
 faults:

@@ -18,7 +18,10 @@ Commands:
 - ``lint [paths] [--json] [--baseline FILE]`` — zionlint, the static
   trust-boundary/taint/charging analyzer for the SM seam (INTERNALS
   §12); exits non-zero on findings that are neither pragma-suppressed
-  nor baselined.
+  nor baselined;
+- ``redis-cluster [--shards N --clients C --requests R --pipeline K]``
+  — run the sharded redis cluster over SM channels once and print its
+  throughput/latency/balance stats (docs/DATA_PLANE.md).
 """
 
 from __future__ import annotations
@@ -216,6 +219,44 @@ def _cmd_perf(args) -> int:
     return 1 if problems else 0
 
 
+def _cmd_redis_cluster(args) -> int:
+    from repro.bench.redis_cluster import run_cluster
+
+    result = run_cluster(
+        shards=args.shards, clients=args.clients,
+        requests=args.requests, pipeline=args.pipeline,
+        wake_priority=not args.tail_wake,
+    )
+    total = result["requests"]
+    print(
+        f"{result['shards']} shards, {result['clients']} clients, "
+        f"{total} requests, pipeline {result['pipeline']}"
+    )
+    print(
+        f"serving {result['serving_cycles']:,} cycles "
+        f"(+{result['setup_cycles']:,} bring-up)   "
+        f"{result['cycles_per_request']:,.0f} cycles/request   "
+        f"{result['throughput_rps']:,.0f} req/s"
+    )
+    print(
+        f"latency p50 {result['p50_latency_us']:.1f} us   "
+        f"p99 {result['p99_latency_us']:.1f} us"
+    )
+    print(
+        f"ops {result['ops']}   mget splits {result['mget_splits']}   "
+        f"doorbells {result['doorbells']}"
+    )
+    print(
+        f"per-shard requests {result['per_shard_requests']}   "
+        f"balance {result['shard_balance']:.3f}"
+    )
+    if result["shards_down"]:
+        print(f"shards down: {result['shards_down']}")
+    if result["errors"]:
+        print(f"errors: {result['errors']} (samples {result['error_samples']})")
+    return 1 if result["errors"] else 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.engine import run_cli
 
@@ -261,6 +302,21 @@ def main(argv=None) -> int:
     perf.add_argument("--update-goldens", action="store_true",
                       help="re-record golden cycle totals (model changes only)")
     perf.set_defaults(func=_cmd_perf)
+    cluster = sub.add_parser("redis-cluster",
+                             help="sharded redis over SM channels, one run")
+    cluster.add_argument("--shards", type=int, default=4,
+                         help="shard CVM count (default 4)")
+    cluster.add_argument("--clients", type=int, default=2,
+                         help="client CVM count (default 2)")
+    cluster.add_argument("--requests", type=int, default=48,
+                         help="requests per client (default 48)")
+    cluster.add_argument("--pipeline", type=int, default=8,
+                         help="in-flight requests per client (default 8)")
+    cluster.add_argument("--tail-wake", action="store_true",
+                         help="doorbell wakes go to the back of the run "
+                              "queue (throughput policy; default is "
+                              "front-wake, the latency policy)")
+    cluster.set_defaults(func=_cmd_redis_cluster)
     lint = sub.add_parser("lint", help="zionlint static boundary analyzer")
     from repro.lint.engine import add_arguments as _lint_add_arguments
 

@@ -10,6 +10,8 @@ exercises the guest memory pipeline end to end:
   (doorbells, scheduler rotations, ring loads/stores);
 - ``redis``: the in-guest RESP server over virtio-net + SWIOTLB (the
   full I/O path: MMIO exits, bounce copies, interrupt delivery);
+- ``redis_cluster``: the sharded key-value cluster over SM channels
+  (router + N shard CVMs, pipelined clients; see docs/DATA_PLANE.md);
 - ``switch_path``: a tight short-path world-switch loop (E2's shape).
 
 The harness enforces the repository's one hard performance invariant:
@@ -43,12 +45,14 @@ FULL_PARAMS = {
     "memstress": {"pages": 2000},
     "pingpong": {"rounds": 64, "message_size": 256},
     "redis": {"requests": 400, "op": "GET"},
+    "redis_cluster": {"shards": 4, "clients": 4, "requests": 64, "pipeline": 8},
     "switch_path": {"iterations": 400},
 }
 QUICK_PARAMS = {
     "memstress": {"pages": 400},
     "pingpong": {"rounds": 16, "message_size": 256},
     "redis": {"requests": 100, "op": "GET"},
+    "redis_cluster": {"shards": 2, "clients": 2, "requests": 16, "pipeline": 4},
     "switch_path": {"iterations": 100},
 }
 
@@ -148,6 +152,24 @@ def run_redis(requests: int = 400, op: str = "GET") -> ScenarioRun:
     )
 
 
+def run_redis_cluster(shards: int = 4, clients: int = 4, requests: int = 64,
+                      pipeline: int = 8) -> ScenarioRun:
+    """Sharded redis over SM channels: router + N shards, pipelined."""
+    from repro.bench.redis_cluster import build_cluster
+
+    machine, pairs, _sessions = build_cluster(
+        shards, clients, requests, pipeline
+    )
+    params = {
+        "shards": shards, "clients": clients,
+        "requests": requests, "pipeline": pipeline,
+    }
+    return _measure(
+        "redis_cluster", params, machine,
+        lambda: machine.run_concurrent(pairs, wake_priority=True),
+    )
+
+
 def run_switch_path(iterations: int = 400) -> ScenarioRun:
     """Tight short-path world-switch loop (timer exits, E2's shape)."""
     machine = Machine(MachineConfig())
@@ -170,6 +192,7 @@ SCENARIOS = {
     "memstress": run_memstress,
     "pingpong": run_pingpong,
     "redis": run_redis,
+    "redis_cluster": run_redis_cluster,
     "switch_path": run_switch_path,
 }
 

@@ -47,6 +47,25 @@ class ChannelCorrupt(ReproError):
     """
 
 
+class ShardDown(ReproError):
+    """A key-value cluster shard stopped answering its SM channel.
+
+    Raised (or encoded as a ``-ERR SHARDDOWN`` RESP reply) by the slot
+    router when a shard's channel endpoint fail-stops -- the peer
+    corrupted the shared ring, closed its end, or simply stopped
+    draining -- so in-flight and future requests for that shard's slots
+    fail fast with a typed error instead of wedging the pipeline.
+    """
+
+    def __init__(self, shard: int, slot: int | None = None, reason: str = ""):
+        self.shard = shard
+        self.slot = slot
+        detail = f" (slot {slot})" if slot is not None else ""
+        super().__init__(
+            f"shard {shard} is down{detail}: {reason or 'channel unresponsive'}"
+        )
+
+
 class TrapRaised(ReproError):
     """An architectural trap (exception) occurred during an access.
 

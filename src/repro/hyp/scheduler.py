@@ -56,11 +56,23 @@ class RoundRobinScheduler:
             return
         self._blocked[item] = None
 
-    def wake(self, item) -> bool:
-        """Return a blocked item to the rotation; True if it was parked."""
+    def wake(self, item, front: bool = False) -> bool:
+        """Return a blocked item to the rotation; True if it was parked.
+
+        ``front=True`` enqueues the woken item at the *head* of the
+        rotation instead of the tail: a doorbell wake then runs the
+        consumer on the very next dispatch, which is what keeps the
+        router->shard->router reply hop short in pipelined cluster runs
+        (tail wake would first rotate through every other runnable VM).
+        The default stays tail-wake -- the fair policy the existing
+        benches and their cycle goldens were recorded against.
+        """
         if item in self._blocked:
             del self._blocked[item]
-            self._queue.append(item)
+            if front:
+                self._queue.appendleft(item)
+            else:
+                self._queue.append(item)
             return True
         return False
 

@@ -35,7 +35,19 @@ class ChannelError(ReproError):
 
 
 class ChannelEndpoint:
-    """One guest's end of a channel (rings + ECALL plumbing)."""
+    """One guest's end of a channel (rings + ECALL plumbing).
+
+    Trust assumptions (THREAT_MODEL vocabulary): the *peer CVM* is
+    untrusted once connected -- everything read from the shared window
+    (ring counters, length prefixes, payload bytes) is attacker-supplied
+    and goes through Check-after-Load in :class:`~repro.ipc.ring.SpscRing`
+    before it is used as a count, offset or copy length.  The
+    *hypervisor* never maps the window at all (SM-enforced), so it is
+    outside this endpoint's attack surface; the *SM* is trusted and its
+    ECALL results (channel id, window size) are used unclamped.  On the
+    first failed sanity check the endpoint fail-stops (``corrupt``):
+    containment, not recovery, is the policy for a lying peer.
+    """
 
     def __init__(self, ctx, channel_id: int, window_gpa: int, size: int,
                  is_creator: bool):
@@ -108,7 +120,14 @@ class ChannelEndpoint:
     # -- data path ---------------------------------------------------------
 
     def send(self, payload: bytes, notify: bool = True) -> bool:
-        """Enqueue one message; rings the peer's doorbell on success."""
+        """Enqueue one message; rings the peer's doorbell on success.
+
+        Returns False (never blocks, never partially writes) when the
+        peer's unreturned credits would be exceeded.  The credit check
+        reads the peer-writable ``cons`` counter through the ring's
+        clamped invariant check: an out-of-range counter fail-stops the
+        endpoint instead of authorising an overwrite.
+        """
         self._require_open()
         try:
             sent = self.tx.try_send(payload)
@@ -128,7 +147,13 @@ class ChannelEndpoint:
     CREDIT_WATERMARK = 4
 
     def recv(self, notify: bool = True) -> bytes | None:
-        """Dequeue one message; doorbells the peer if it may be throttled."""
+        """Dequeue one message; doorbells the peer if it may be throttled.
+
+        The message header and counters are untrusted (peer-writable):
+        the length prefix is clamped against the published byte count
+        before any copy, and counter inconsistency raises
+        :class:`ChannelCorrupt` and fail-stops the endpoint.
+        """
         self._require_open()
         try:
             throttled = (
@@ -142,12 +167,74 @@ class ChannelEndpoint:
             self.ring_doorbell()
         return payload
 
+    def send_many(self, payloads, notify: bool = True) -> int:
+        """Enqueue messages until credits run out; one doorbell for the batch.
+
+        Returns how many of ``payloads`` were enqueued (a prefix: the
+        first refusal stops the batch, so the caller can retry the tail
+        after the peer returns credits).  Trust: the refusal decision
+        reads the peer-writable ``cons`` counter, but only through the
+        ring's clamped invariant check -- a lying peer can deny us
+        credits (liveness), never make us overwrite unconsumed data
+        (integrity).  Ringing one doorbell per batch instead of one per
+        message is the pipelining fast path: the notify ECALL (trap,
+        dispatch, SM bookkeeping, IPI) amortises across the batch.
+        """
+        self._require_open()
+        sent = 0
+        for payload in payloads:
+            try:
+                if not self.tx.try_send(payload):
+                    break
+            except ChannelCorrupt:
+                self.corrupt = True
+                raise
+            sent += 1
+        if sent and notify:
+            self.ring_doorbell()
+        return sent
+
+    def recv_many(self, limit: int | None = None, notify: bool = True) -> list:
+        """Drain up to ``limit`` messages; one credit-return doorbell.
+
+        The throttle check (was the producer near out of credits?) is
+        sampled *before* draining, exactly like :meth:`recv`, so the
+        batch rings at most one doorbell however many messages it frees.
+        Every message crossed the untrusted window: length prefixes are
+        clamped by the ring before any copy, and a corrupt counter
+        fail-stops the endpoint mid-drain (messages already returned
+        were individually validated and remain good).
+        """
+        self._require_open()
+        out: list = []
+        try:
+            throttled = (
+                self.rx.credits() < self.rx.capacity // self.CREDIT_WATERMARK
+            )
+            while limit is None or len(out) < limit:
+                payload = self.rx.try_recv()
+                if payload is None:
+                    break
+                out.append(payload)
+        except ChannelCorrupt:
+            self.corrupt = True
+            raise
+        if out and notify and throttled:
+            self.ring_doorbell()
+        return out
+
     def credits(self) -> int:
         """Free bytes on the transmit ring (credit-based backpressure)."""
         return self.tx.credits()
 
     def ring_doorbell(self) -> int:
-        """CHANNEL_NOTIFY: raise the peer's VSEI through the SM."""
+        """CHANNEL_NOTIFY: raise the peer's VSEI through the SM.
+
+        The doorbell carries no data -- the untrusted host observes only
+        *that* a notify happened (it schedules the woken vCPU), never
+        what is in the window.  The SM validates that this CVM is an
+        endpoint of the channel before touching the peer's hvip.
+        """
         error, pending = self.ctx.sbi_ecall(
             EXT_ZION_GUEST, int(GuestFunction.CHANNEL_NOTIFY), self.channel_id
         )
@@ -157,7 +244,14 @@ class ChannelEndpoint:
         return pending
 
     def close(self) -> None:
-        """CHANNEL_CLOSE: unmap both sides, scrub, free (idempotent)."""
+        """CHANNEL_CLOSE: unmap both sides, scrub, free (idempotent).
+
+        Either endpoint may close unilaterally; the SM (trusted) unmaps
+        the window from *both* CVMs and zeroes it before the block can
+        be reused, so no residue of the conversation survives for the
+        next owner.  The peer subsequently faults on the window --
+        containment it must expect from an untrusted counterpart.
+        """
         if self.closed:
             return
         error, _ = self.ctx.sbi_ecall(

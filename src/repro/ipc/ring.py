@@ -34,7 +34,17 @@ LENGTH_PREFIX = 8
 
 
 class SpscRing:
-    """One direction of a channel: a byte ring inside ``[base, base+size)``."""
+    """One direction of a channel: a byte ring inside ``[base, base+size)``.
+
+    Trust assumptions: the whole region is shared with the (untrusted)
+    peer CVM, so *every* load from it -- ``prod``, ``cons``, length
+    prefixes, payloads -- is attacker-controllable and must pass
+    Check-after-Load before it steers a copy.  The local side only
+    trusts what it derives itself: ``capacity`` (from the SM-returned
+    window size) and its own statistics counters, which live in guest
+    locals, not in the window.  Violations surface as
+    :class:`ChannelCorrupt`, never as an out-of-bounds access.
+    """
 
     def __init__(self, ctx, base_gpa: int, size: int):
         if size <= HEADER_SIZE:
@@ -51,18 +61,35 @@ class SpscRing:
 
     @property
     def prod(self) -> int:
+        """Producer byte counter -- an *untrusted* load from the window.
+
+        Raw by design: clamping happens in :meth:`_checked_used`, the
+        single choke point every data-path decision goes through.
+        """
         return self.ctx.load(self.base + _PROD_OFFSET)
 
     @property
     def cons(self) -> int:
+        """Consumer byte counter -- an *untrusted* load from the window."""
         return self.ctx.load(self.base + _CONS_OFFSET)
 
     def used(self) -> int:
-        """Bytes currently queued (consumer's view of available work)."""
+        """Bytes currently queued (consumer's view of available work).
+
+        Advisory only (doorbell/throttle heuristics): reads both shared
+        counters without clamping, so callers must not size a copy from
+        it -- the data paths re-derive the value via the checked form.
+        """
         return self.prod - self.cons
 
     def credits(self) -> int:
-        """Free bytes the producer may still write without overrunning."""
+        """Free bytes the producer may still write without overrunning.
+
+        Advisory (backpressure heuristics), like :meth:`used`: a lying
+        peer can understate credits and stall us, but an overstated
+        value never reaches a copy -- :meth:`try_send` re-checks through
+        the clamped path before writing a byte.
+        """
         return self.capacity - self.used()
 
     def _checked_used(self, prod: int, cons: int) -> int:

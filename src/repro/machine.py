@@ -344,7 +344,8 @@ class Machine:
             "workload_result": result,
         }
 
-    def run_concurrent(self, pairs, on_error: str = "raise") -> dict:
+    def run_concurrent(self, pairs, on_error: str = "raise",
+                       wake_priority: bool = False) -> dict:
         """Interleave several VMs' workloads on the hart, round-robin.
 
         ``pairs`` is a list of ``(session, generator_workload)`` where each
@@ -369,6 +370,13 @@ class Machine:
         the fault-injection campaigns run in this mode, where a typed
         error is precisely a *contained* fault.
 
+        ``wake_priority`` selects the doorbell wake policy: ``False``
+        (default, the recorded-golden behaviour) returns a woken session
+        to the rotation *tail*; ``True`` puts it at the *head*, so the
+        session a doorbell targets runs on the next dispatch -- the
+        latency-oriented policy the sharded redis cluster uses for its
+        router<->shard hops (see docs/DATA_PLANE.md).
+
         Returns ``{session: workload_return_value}`` plus the total cycle
         span under the key ``"cycles"``.
         """
@@ -387,7 +395,7 @@ class Machine:
         def wake(cvm_id: int) -> None:
             key = wake_keys.get(cvm_id)
             if key is not None:
-                scheduler.wake(key)
+                scheduler.wake(key, front=wake_priority)
 
         previous_wake = self.hypervisor.scheduler_wake
         self.hypervisor.scheduler_wake = wake

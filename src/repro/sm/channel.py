@@ -100,6 +100,11 @@ class ChannelManager:
     def __init__(self, monitor):
         self.monitor = monitor
         self.channels: dict[int, Channel] = {}
+        #: Fan-out index: cvm_id -> ids of channels it is an endpoint of.
+        #: A router CVM legitimately holds one channel per shard plus one
+        #: per client, so destroy-path teardown and per-CVM accounting
+        #: must not scan the whole channel table.
+        self._by_cvm: dict[int, set] = {}
         self._ids = itertools.count(1)
 
     # -- helpers -----------------------------------------------------------
@@ -177,12 +182,21 @@ class ChannelManager:
             self.monitor.translator.sfence_page(cvm.vmid, gpa + offset)
         channel.gpas[cvm.cvm_id] = gpa
         channel.doorbells[cvm.cvm_id] = 0
+        self._by_cvm.setdefault(cvm.cvm_id, set()).add(channel.channel_id)
 
     # -- lifecycle ---------------------------------------------------------
 
     def create(self, cvm, window_gpa: int, size: int,
                expected_peer_measurement: bytes) -> int:
-        """Allocate a window, map it into the creator, await the peer."""
+        """Allocate a window, map it into the creator, await the peer.
+
+        ``window_gpa``/``size`` are guest-supplied (untrusted even from
+        a CVM -- a compromised guest kernel must not steer SM mappings):
+        both are clamped to page-aligned, block-bounded, *unmapped*
+        private DRAM before any pool state changes.  The window block is
+        zeroed before mapping so the creator never sees a prior owner's
+        bytes.
+        """
         self._charge()
         if cvm.measurement is None:
             raise EcallError("creator CVM is not finalized")
@@ -205,7 +219,16 @@ class ChannelManager:
 
     def connect(self, cvm, channel_id: int, window_gpa: int,
                 expected_creator_measurement: bytes) -> int:
-        """Attach the second endpoint; gated on both measurements."""
+        """Attach the second endpoint; gated on both measurements.
+
+        ``channel_id`` is untrusted (it travelled over some guest side
+        channel): it is looked up, never indexed; the state machine
+        refuses anything but a once-only CREATED->CONNECTED transition,
+        so a third CVM can never join.  The mutual attestation gate
+        compares SM-held launch measurements -- the only inputs the
+        connecting guest controls are which channel and where in its own
+        space the window lands (validated like :meth:`create`).
+        """
         self._charge()
         channel = self._channel(channel_id)
         if channel.state is not ChannelState.CREATED:
@@ -234,7 +257,14 @@ class ChannelManager:
         return channel.window_size
 
     def notify(self, cvm, channel_id: int) -> int:
-        """Ring the peer's doorbell; returns its pending doorbell count."""
+        """Ring the peer's doorbell; returns its pending doorbell count.
+
+        Endpoint membership is checked before anything else (an
+        unrelated CVM probing channel ids gets a refusal, not a timing
+        oracle on peer state).  What leaks to the untrusted host is one
+        bit -- *some* doorbell rang for that CVM -- via the scheduler
+        wake; payload bytes never leave the PMP-protected window.
+        """
         self._charge()
         channel = self._endpoint_channel(cvm.cvm_id, channel_id)
         if channel.state is not ChannelState.CONNECTED:
@@ -262,25 +292,51 @@ class ChannelManager:
         return channel.doorbells[peer_id]
 
     def consume_doorbell(self, cvm_id: int, channel_id: int) -> int:
-        """Take (and clear) the endpoint's pending doorbell count."""
+        """Take (and clear) the endpoint's pending doorbell count.
+
+        Membership-checked like :meth:`notify`; the count itself is
+        SM-maintained (trusted) state, so no clamping is needed.
+        """
         channel = self._endpoint_channel(cvm_id, channel_id)
         pending = channel.doorbells.get(cvm_id, 0)
         channel.doorbells[cvm_id] = 0
         return pending
 
     def close(self, cvm, channel_id: int) -> None:
-        """Tear the channel down from either end: unmap, scrub, recycle."""
+        """Tear the channel down from either end: unmap, scrub, recycle.
+
+        Only an endpoint may close (membership-checked); the teardown
+        unmaps the window from *both* CVMs and zeroes every byte before
+        the block re-enters the pool, so neither the peer nor the next
+        block owner can read conversation residue.
+        """
         self._charge()
         channel = self._endpoint_channel(cvm.cvm_id, channel_id)
         if channel.state is ChannelState.CLOSED:
             raise EcallError(f"channel {channel_id} is already closed")
         self._teardown(channel)
 
+    def channels_of(self, cvm_id: int) -> tuple:
+        """Ids of the open channels this CVM is an endpoint of.
+
+        SM-internal bookkeeping (reads only trusted state); the
+        hypervisor learns per-CVM channel membership only through the
+        DESCRIBE_CVM-style surfaces that deliberately expose it, never
+        by reaching into this table.
+        """
+        return tuple(sorted(self._by_cvm.get(cvm_id, ())))
+
     def on_cvm_destroyed(self, cvm_id: int) -> int:
-        """Destroy-path hook: close every channel the CVM participates in."""
+        """Destroy-path hook: close every channel the CVM participates in.
+
+        Driven by the fan-out index so a router CVM with dozens of
+        channels tears them all down without scanning unrelated ones;
+        each teardown scrubs the window before its block is reusable.
+        """
         closed = 0
-        for channel in self.channels.values():
-            if channel.state is not ChannelState.CLOSED and cvm_id in channel.gpas:
+        for channel_id in self.channels_of(cvm_id):
+            channel = self.channels[channel_id]
+            if channel.state is not ChannelState.CLOSED:
                 self._teardown(channel)
                 closed += 1
         return closed
@@ -288,6 +344,12 @@ class ChannelManager:
     def _teardown(self, channel: Channel) -> None:
         monitor = self.monitor
         token = self.owner_token(channel.channel_id)
+        for cvm_id in channel.gpas:
+            members = self._by_cvm.get(cvm_id)
+            if members is not None:
+                members.discard(channel.channel_id)
+                if not members:
+                    del self._by_cvm[cvm_id]
         for cvm_id, gpa in channel.gpas.items():
             cvm = monitor.cvms.get(cvm_id)
             if cvm is None:

@@ -77,6 +77,54 @@ def resp_array(values) -> bytes:
     return b"*%d\r\n" % len(values) + b"".join(resp_bulk(v) for v in values)
 
 
+def resp_decode_reply(data: bytes, offset: int = 0):
+    """Decode one RESP reply starting at ``offset``.
+
+    Returns ``(value, next_offset)`` where ``value`` is ``str`` for a
+    simple string, :class:`ValueError`-free ``bytes``/``None`` for bulk
+    strings, ``int`` for integers, a ``list`` for arrays, and a
+    ``ResponseError`` instance for ``-ERR`` replies (returned, not
+    raised, so pipelined clients can pair errors with their requests).
+    """
+    end = data.index(b"\r\n", offset)
+    marker, line = data[offset:offset + 1], data[offset + 1:end]
+    offset = end + 2
+    if marker == b"+":
+        return line.decode(), offset
+    if marker == b"-":
+        return ResponseError(line.decode()), offset
+    if marker == b":":
+        return int(line), offset
+    if marker == b"$":
+        length = int(line)
+        if length == -1:
+            return None, offset
+        value = data[offset:offset + length]
+        if len(value) != length:
+            raise ValueError("truncated bulk string")
+        return value, offset + length + 2
+    if marker == b"*":
+        values = []
+        for _ in range(int(line)):
+            value, offset = resp_decode_reply(data, offset)
+            values.append(value)
+        return values, offset
+    raise ValueError(f"unknown RESP reply marker {marker!r}")
+
+
+class ResponseError:
+    """A decoded ``-ERR`` reply (value object, comparable by message)."""
+
+    def __init__(self, message: str):
+        self.message = message
+
+    def __eq__(self, other):
+        return isinstance(other, ResponseError) and other.message == self.message
+
+    def __repr__(self):
+        return f"ResponseError({self.message!r})"
+
+
 # ---------------------------------------------------------------------------
 # The in-guest server
 # ---------------------------------------------------------------------------
@@ -97,6 +145,7 @@ COMMAND_CYCLES = {
     "HSET": 6_200,
     "LRANGE": 52_000,
     "MSET": 26_000,
+    "MGET": 7_800,
     "DEL": 4_800,
     "EXISTS": 4_200,
     "APPEND": 5_600,
@@ -298,6 +347,14 @@ class RedisServer:
         for i in range(0, len(args), 2):
             self.strings[bytes(args[i])] = bytes(args[i + 1])
         return resp_simple("OK")
+
+    def _cmd_mget(self, args):
+        values = []
+        for arg in args:
+            key = bytes(arg)
+            self._expire_if_due(key)
+            values.append(self.strings.get(key))
+        return resp_array(values)
 
 
 # ---------------------------------------------------------------------------

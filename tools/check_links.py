@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Check that every relative markdown link in the docs resolves.
+
+Scans the repository's top-level ``*.md`` files and ``docs/*.md`` for
+inline links and images (``[text](target)`` / ``![alt](target)``),
+resolves each relative target against the file that contains it, and
+fails (exit 1) listing every target that does not exist on disk.
+
+Skipped on purpose: absolute URLs (``http://``, ``https://``,
+``mailto:``) and pure in-page anchors (``#section``). A ``#fragment``
+suffix on a file target is stripped before the existence check --
+fragment validity is not verified, only the file.
+
+Usage::
+
+    python tools/check_links.py [root]
+
+``root`` defaults to the repository root (the parent of this script's
+directory). No dependencies beyond the stdlib; CI runs this as the
+docs link-check step.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline markdown link/image: ``[text](target)``.  Nested brackets in
+#: the text and whitespace-wrapped targets are out of scope -- the docs
+#: do not use them.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_doc_files(root: pathlib.Path):
+    yield from sorted(root.glob("*.md"))
+    yield from sorted(root.glob("docs/*.md"))
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list:
+    """Return ``(line_number, target)`` for every broken link in ``path``."""
+    broken = []
+    for line_number, line in enumerate(path.read_text().splitlines(), 1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if file_part.startswith("/"):
+                resolved = root / file_part.lstrip("/")
+            else:
+                resolved = path.parent / file_part
+            if not resolved.exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0]) if argv else \
+        pathlib.Path(__file__).resolve().parent.parent
+    checked = 0
+    failures = 0
+    for path in iter_doc_files(root):
+        checked += 1
+        for line_number, target in check_file(path, root):
+            failures += 1
+            print(f"{path.relative_to(root)}:{line_number}: "
+                  f"broken link -> {target}")
+    print(f"checked {checked} files, {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
