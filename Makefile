@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install verify test bench bench-full experiments faults perf lint linkcheck redis-cluster examples clean
+.PHONY: install verify test bench bench-full experiments faults perf lint linkcheck redis-cluster fleet examples clean
 
 install:
 	pip install -e .
@@ -36,6 +36,11 @@ lint:
 # Sharded redis over SM channels, one run with stats (docs/DATA_PLANE.md).
 redis-cluster:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro redis-cluster
+
+# Fleet orchestrator: multi-host CVM lifecycle + live migration under
+# adversarial load, acceptance-sized campaign (docs/FLEET.md).
+fleet:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro fleet --hosts 4 --cvms 12 --seeds 3
 
 # Verify every relative link in README/docs resolves to a real file.
 linkcheck:

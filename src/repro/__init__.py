@@ -24,6 +24,7 @@ from repro.cycles import Category, CycleCosts, CycleLedger, DEFAULT_COSTS
 from repro.errors import (
     ConfigurationError,
     EcallError,
+    MigrationRejected,
     ReproError,
     SecurityViolation,
     TrapRaised,
@@ -45,6 +46,7 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "SecurityViolation",
+    "MigrationRejected",
     "EcallError",
     "TrapRaised",
     "machine_stats",

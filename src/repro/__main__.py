@@ -21,7 +21,12 @@ Commands:
   nor baselined;
 - ``redis-cluster [--shards N --clients C --requests R --pipeline K]``
   — run the sharded redis cluster over SM channels once and print its
-  throughput/latency/balance stats (docs/DATA_PLANE.md).
+  throughput/latency/balance stats (docs/DATA_PLANE.md);
+- ``fleet [--hosts N --cvms M --seeds S --epochs E --rate R]
+  [--seams a,b] [--ablate]`` — the fleet orchestrator: multi-host CVM
+  lifecycle + live migration under adversarial load, with per-migration
+  downtime and containment sweeps (docs/FLEET.md); ``--ablate`` runs
+  the migration-rate x fleet-size grid instead.
 """
 
 from __future__ import annotations
@@ -154,6 +159,17 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _parse_seams(spec):
+    """``--seams`` comma list -> validated tuple (None when not given)."""
+    if spec is None:
+        return None
+    from repro.faults.plan import resolve_seams
+
+    seams = tuple(s.strip() for s in spec.split(",") if s.strip())
+    resolve_seams(seams)  # raises ValueError on unknown names
+    return seams
+
+
 def _cmd_faults(args) -> int:
     from repro.faults import run_campaign
 
@@ -161,9 +177,14 @@ def _cmd_faults(args) -> int:
         seeds = [args.seed]
     else:
         seeds = list(range(args.seeds))
+    try:
+        seams = _parse_seams(args.seams)
+    except ValueError as error:
+        print(f"--seams: {error}")
+        return 2
     failures = 0
     total_injected = 0
-    for result in run_campaign(seeds, rounds=args.rounds):
+    for result in run_campaign(seeds, rounds=args.rounds, seams=seams):
         print(result.summary())
         total_injected += result.injected
         if args.verbose or not result.ok:
@@ -257,6 +278,71 @@ def _cmd_redis_cluster(args) -> int:
     return 1 if result["errors"] else 0
 
 
+def _cmd_fleet(args) -> int:
+    from repro.fleet import DEFAULT_SEAMS, run_fleet_ablation, run_fleet_campaign
+
+    if args.ablate:
+        cells = run_fleet_ablation()
+        print(f"{'hosts':>5} {'cvms':>5} {'rate':>5} {'migr':>5} "
+              f"{'downtime mean':>14} {'max':>10} {'dip%':>7} {'ops':>7}")
+        bad = 0
+        for cell in cells:
+            print(
+                f"{cell['hosts']:>5} {cell['cvms']:>5} "
+                f"{cell['migration_rate']:>5} {cell['migrations']:>5} "
+                f"{cell['downtime_mean_cycles']:>14,.0f} "
+                f"{cell['downtime_max_cycles']:>10,} "
+                f"{cell['throughput_dip_pct']:>+7.1f} {cell['ops']:>7}"
+            )
+            bad += cell["violations"]
+        return 1 if bad else 0
+
+    if args.seams is None:
+        seams = DEFAULT_SEAMS
+    elif args.seams.strip().lower() == "none":
+        seams = None  # clean-room run, no injection
+    else:
+        try:
+            seams = _parse_seams(args.seams)
+        except ValueError as error:
+            print(f"--seams: {error}")
+            return 2
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(range(args.seeds))
+    failures = 0
+    for result in run_fleet_campaign(
+        seeds, hosts=args.hosts, cvms=args.cvms, epochs=args.epochs,
+        migration_rate=args.rate, seams=seams,
+    ):
+        print(result.summary())
+        ok = result.ok and result.migrations >= args.min_migrations
+        if args.verbose or not ok:
+            print(f"  plan: {result.plan}")
+            print(f"  arrivals {result.arrivals} "
+                  f"(all attestation-checked: "
+                  f"{result.attest_checked == result.arrivals})   "
+                  f"sched parks {result.sched.get('parks', 0)} "
+                  f"wakes {result.sched.get('wakes', 0)}")
+            for entry in result.failed:
+                print(f"  failed migration: CVM {entry[0]} "
+                      f"{entry[1]}: {entry[2]}")
+            for entry in result.contained:
+                print(f"  contained: CVM {entry[0]} {entry[1]}: {entry[2]}")
+            for line in result.ferry_faults:
+                print(f"  ferry fault: {line}")
+            for line in result.violations:
+                print(f"  VIOLATION: {line}")
+            if result.migrations < args.min_migrations:
+                print(f"  TOO FEW MIGRATIONS: {result.migrations} < "
+                      f"{args.min_migrations}")
+        if not ok:
+            failures += 1
+    print(f"fleet campaign: {len(seeds)} seeds, {failures} failing")
+    return 1 if failures else 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.engine import run_cli
 
@@ -289,6 +375,10 @@ def main(argv=None) -> int:
                         help="ping-pong rounds per seed (default 8)")
     faults.add_argument("-v", "--verbose", action="store_true",
                         help="print each seed's plan and outcomes")
+    faults.add_argument("--seams", default=None,
+                        help="comma-separated seam subset to draw faults "
+                             "from (e.g. enter,notify or the aliases "
+                             "channel,lifecycle); default: every seam")
     faults.set_defaults(func=_cmd_faults)
     perf = sub.add_parser("perf", help="wall-clock performance harness")
     perf.add_argument("--quick", action="store_true",
@@ -317,6 +407,35 @@ def main(argv=None) -> int:
                               "queue (throughput policy; default is "
                               "front-wake, the latency policy)")
     cluster.set_defaults(func=_cmd_redis_cluster)
+    fleet = sub.add_parser("fleet",
+                           help="multi-host CVM fleet: lifecycle + live "
+                                "migration under adversarial load")
+    fleet.add_argument("--hosts", type=int, default=4,
+                       help="simulated host count (default 4)")
+    fleet.add_argument("--cvms", type=int, default=12,
+                       help="fleet CVM count (default 12)")
+    fleet.add_argument("--seeds", type=int, default=3,
+                       help="run seeds 0..N-1 (default 3)")
+    fleet.add_argument("--seed", type=int, default=None,
+                       help="replay exactly this seed (repro workflow)")
+    fleet.add_argument("--epochs", type=int, default=6,
+                       help="serving epochs per seed (default 6; epochs "
+                            "0-1 are the cold start and warm baseline)")
+    fleet.add_argument("--rate", type=int, default=4,
+                       help="rebalancing group-moves per epoch (default 4)")
+    fleet.add_argument("--seams", default=None,
+                       help="fault seam subset (default "
+                            "migration,channel,lifecycle; 'none' disables "
+                            "injection)")
+    fleet.add_argument("--min-migrations", type=int, default=10,
+                       help="fail a seed that completes fewer successful "
+                            "migrations (default 10)")
+    fleet.add_argument("--ablate", action="store_true",
+                       help="run the migration-rate x fleet-size ablation "
+                            "grid instead of the campaign")
+    fleet.add_argument("-v", "--verbose", action="store_true",
+                       help="print each seed's plan and outcomes")
+    fleet.set_defaults(func=_cmd_fleet)
     lint = sub.add_parser("lint", help="zionlint static boundary analyzer")
     from repro.lint.engine import add_arguments as _lint_add_arguments
 

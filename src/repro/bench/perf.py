@@ -12,7 +12,11 @@ exercises the guest memory pipeline end to end:
   full I/O path: MMIO exits, bounce copies, interrupt delivery);
 - ``redis_cluster``: the sharded key-value cluster over SM channels
   (router + N shard CVMs, pipelined clients; see docs/DATA_PLANE.md);
-- ``switch_path``: a tight short-path world-switch loop (E2's shape).
+- ``switch_path``: a tight short-path world-switch loop (E2's shape);
+- ``fleet``: the multi-host rebalancing control loop (clean run, no
+  fault injection): live migrations between simulated hosts, with
+  per-migration downtime reported alongside the wall-clock numbers
+  (see docs/FLEET.md).
 
 The harness enforces the repository's one hard performance invariant:
 **optimizations may change how fast Python executes the model, never what
@@ -47,6 +51,7 @@ FULL_PARAMS = {
     "redis": {"requests": 400, "op": "GET"},
     "redis_cluster": {"shards": 4, "clients": 4, "requests": 64, "pipeline": 8},
     "switch_path": {"iterations": 400},
+    "fleet": {"hosts": 3, "cvms": 8, "epochs": 5, "migration_rate": 3},
 }
 QUICK_PARAMS = {
     "memstress": {"pages": 400},
@@ -54,6 +59,7 @@ QUICK_PARAMS = {
     "redis": {"requests": 100, "op": "GET"},
     "redis_cluster": {"shards": 2, "clients": 2, "requests": 16, "pipeline": 4},
     "switch_path": {"iterations": 100},
+    "fleet": {"hosts": 2, "cvms": 4, "epochs": 3, "migration_rate": 2},
 }
 
 
@@ -73,6 +79,9 @@ class ScenarioRun:
     total_cycles: int
     #: Per-category breakdown of the whole run (category name -> cycles).
     breakdown: dict
+    #: Scenario-specific figures merged into the report verbatim (e.g.
+    #: the fleet scenario's migration count and downtime statistics).
+    extra: dict = dataclasses.field(default_factory=dict)
 
     @property
     def cycles_per_wall_second(self) -> float:
@@ -188,12 +197,53 @@ def run_switch_path(iterations: int = 400) -> ScenarioRun:
     return _measure("switch_path", {"iterations": iterations}, machine, timed)
 
 
+def run_fleet(hosts: int = 3, cvms: int = 8, epochs: int = 5,
+              migration_rate: int = 3) -> ScenarioRun:
+    """Multi-host fleet rebalancing loop (clean run, no fault injection).
+
+    The only multi-machine scenario: cycles are summed over every host's
+    independent ledger, and the fleet's own figures (migration count,
+    per-migration downtime, serving-throughput dip) ride along in
+    :attr:`ScenarioRun.extra` so ``BENCH_PERF.json`` carries the paper's
+    migration-cost story next to the wall-clock one.
+    """
+    from repro.fleet import FleetConfig, FleetOrchestrator
+
+    config = FleetConfig(hosts=hosts, cvms=cvms, epochs=epochs,
+                         migration_rate=migration_rate, seed=0, seams=None)
+    orchestrator = FleetOrchestrator(config)
+    t0 = time.perf_counter()
+    result = orchestrator.run()
+    wall = time.perf_counter() - t0
+    total = sum(host.cycles for host in orchestrator.hosts)
+    breakdown: dict = {}
+    for host in orchestrator.hosts:
+        for cat, cycles in host.machine.ledger.by_category().items():
+            breakdown[cat.name] = breakdown.get(cat.name, 0) + cycles
+    return ScenarioRun(
+        name="fleet",
+        params={"hosts": hosts, "cvms": cvms, "epochs": epochs,
+                "migration_rate": migration_rate},
+        wall_seconds=wall,
+        cycles=total,
+        total_cycles=total,
+        breakdown=breakdown,
+        extra={
+            "migrations": result.migrations,
+            "downtime_mean_cycles": round(result.downtime_mean, 1),
+            "downtime_max_cycles": result.downtime_max,
+            "throughput_dip_pct": round(result.throughput_dip_pct, 2),
+        },
+    )
+
+
 SCENARIOS = {
     "memstress": run_memstress,
     "pingpong": run_pingpong,
     "redis": run_redis,
     "redis_cluster": run_redis_cluster,
     "switch_path": run_switch_path,
+    "fleet": run_fleet,
 }
 
 
@@ -226,6 +276,7 @@ def build_report(runs, quick: bool) -> dict:
                 "total_cycles": run.total_cycles,
                 "cycles_per_wall_second": round(run.cycles_per_wall_second, 1),
                 "breakdown": run.breakdown,
+                **run.extra,
             }
             for run in runs
         },

@@ -36,6 +36,27 @@ class EcallError(ReproError):
     """An SM ECALL was invoked with invalid arguments."""
 
 
+class MigrationRejected(SecurityViolation):
+    """A migrated-in CVM failed its arrival attestation check.
+
+    The blob authenticated (the sealing MAC passed), but the measurement
+    the destination SM reports does not match what the fleet expected for
+    this CVM -- the signature of an untrusted ferry swapping in a
+    different, validly-sealed guest.  The orchestrator destroys the
+    arrival and fail-stops that one CVM; the planned source instance (if
+    it was never exported) keeps serving.
+    """
+
+    def __init__(self, cvm_id: int, expected: bytes, got: bytes):
+        self.cvm_id = cvm_id
+        self.expected = expected
+        self.got = got
+        super().__init__(
+            f"arrival attestation mismatch for CVM {cvm_id}: expected "
+            f"measurement {expected.hex()[:16]}..., got {got.hex()[:16]}..."
+        )
+
+
 class ChannelCorrupt(ReproError):
     """Shared channel state failed a consumer-side sanity check.
 

@@ -183,8 +183,15 @@ class SeedResult:
         )
 
 
-def run_seed(seed: int, rounds: int = 8) -> SeedResult:
-    """Run the concurrent hostile scenario under one seed's plan."""
+def run_seed(seed: int, rounds: int = 8, seams=None) -> SeedResult:
+    """Run the concurrent hostile scenario under one seed's plan.
+
+    ``seams`` (e.g. ``["channel", "lifecycle"]``) restricts the plan to
+    the named seam subset via :meth:`FaultPlan.from_seed`; ``None`` keeps
+    the full historical machine-seam pool.  Migration-seam events have no
+    machine-level hook and are ignored here -- the fleet orchestrator is
+    the driver that consumes those (see :mod:`repro.fleet`).
+    """
     machine = Machine(MachineConfig(initial_pool_bytes=2 << 20))
     machine.hypervisor.expand_chunk = 1 << 20
 
@@ -200,7 +207,7 @@ def run_seed(seed: int, rounds: int = 8) -> SeedResult:
         (stress, page_stress()),
     ]
 
-    plan = FaultPlan.from_seed(seed)
+    plan = FaultPlan.from_seed(seed, seams=seams)
     contained: list = []
     crashes: list = []
     outcomes: dict = {}
@@ -237,6 +244,6 @@ def run_seed(seed: int, rounds: int = 8) -> SeedResult:
     )
 
 
-def run_campaign(seeds, rounds: int = 8) -> list:
+def run_campaign(seeds, rounds: int = 8, seams=None) -> list:
     """Run :func:`run_seed` for each seed; returns the result list."""
-    return [run_seed(seed, rounds=rounds) for seed in seeds]
+    return [run_seed(seed, rounds=rounds, seams=seams) for seed in seeds]

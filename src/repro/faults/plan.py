@@ -22,7 +22,7 @@ import random
 
 from repro.sm.vcpu import SHARED_VCPU_FIELDS
 
-#: Every fault class the injector implements.
+#: Every fault class the machine-level injector implements.
 FAULT_SITES = (
     "vcpu_corrupt",     # overwrite a shared-vCPU field before Check-after-Load
     "doorbell_drop",    # swallow the hypervisor-side doorbell wakeup
@@ -36,6 +36,23 @@ FAULT_SITES = (
     "timer_spurious",   # extra timer exit/entry cycle the guest never asked for
 )
 
+#: Fault classes the fleet orchestrator's untrusted blob ferry applies on
+#: the Nth migration (the ``migration`` seam).  The machine-level
+#: :class:`~repro.faults.injector.FaultInjector` hooks no migration seam
+#: -- a migration crosses two machines -- so these events only fire when
+#: a migration-aware driver (``repro.fleet``) consumes them.
+MIGRATION_SITES = (
+    "mig_blob_flip",      # ferry flips one ciphertext byte in transit
+    "mig_blob_truncate",  # ferry truncates the blob mid-flight
+    "mig_stale_key",      # destination derives the key from a stale nonce
+    "mig_replay",         # ferry re-delivers an already-imported blob
+    "mig_impostor",       # ferry swaps in a validly-sealed decoy CVM's blob
+)
+
+#: Every drawable site, machine seams first (order is part of the seeded
+#: sampling contract for seam-scoped plans).
+ALL_SITES = FAULT_SITES + MIGRATION_SITES
+
 #: Seam each site's trigger counter is keyed on (see module docstring).
 SITE_SEAMS = {
     "vcpu_corrupt": "enter",
@@ -48,7 +65,45 @@ SITE_SEAMS = {
     "expand_fail": "expand",
     "expand_short": "expand",
     "timer_spurious": "timer",
+    "mig_blob_flip": "migration",
+    "mig_blob_truncate": "migration",
+    "mig_stale_key": "migration",
+    "mig_replay": "migration",
+    "mig_impostor": "migration",
 }
+
+#: Friendly seam vocabulary -> canonical seam names.  Campaign callers
+#: say ``seams=["migration", "channel"]``; the plan resolves the alias to
+#: whatever internal seam counters implement it.
+SEAM_ALIASES = {
+    "enter": ("enter",),
+    "notify": ("notify",),
+    "expand": ("expand",),
+    "timer": ("timer",),
+    "migration": ("migration",),
+    "channel": ("notify",),
+    "lifecycle": ("enter", "expand", "timer"),
+}
+
+
+def resolve_seams(seams) -> tuple:
+    """Normalize a seam-name iterable through :data:`SEAM_ALIASES`.
+
+    Returns the canonical seam tuple (deduplicated, in first-mention
+    order); raises ``ValueError`` for an unknown name so a typo'd
+    ``--seams`` dies loudly instead of silently drawing no events.
+    """
+    canonical: list = []
+    for name in seams:
+        expansion = SEAM_ALIASES.get(name)
+        if expansion is None:
+            raise ValueError(
+                f"unknown fault seam {name!r}; known: {sorted(SEAM_ALIASES)}"
+            )
+        for seam in expansion:
+            if seam not in canonical:
+                canonical.append(seam)
+    return tuple(canonical)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,6 +149,16 @@ def _draw_event(rng: random.Random, site: str) -> FaultEvent:
         return FaultEvent(site, rng.randint(1, 3))
     if site == "timer_spurious":
         return FaultEvent(site, rng.randint(2, 24))
+    if site == "mig_blob_flip":
+        # (position as a fraction of 4096, xor mask) -- resolved against
+        # the actual blob length at apply time.
+        return FaultEvent(site, rng.randint(1, 8),
+                          (rng.randint(0, 4095), rng.randint(1, 255)))
+    if site == "mig_blob_truncate":
+        # Keep this fraction of the blob (always cuts at least the MAC).
+        return FaultEvent(site, rng.randint(1, 8), (rng.randint(0, 4000),))
+    if site in ("mig_stale_key", "mig_replay", "mig_impostor"):
+        return FaultEvent(site, rng.randint(1, 8))
     raise ValueError(f"unknown fault site: {site}")
 
 
@@ -106,17 +171,29 @@ class FaultPlan:
 
     @classmethod
     def from_seed(cls, seed: int, min_events: int = 3,
-                  max_events: int = 6) -> "FaultPlan":
+                  max_events: int = 6, seams=None) -> "FaultPlan":
         """Build the plan for ``seed`` (the only randomness sink).
 
         Draws between ``min_events`` and ``max_events`` faults over
         distinct sites, so every campaign seed stresses a different
         cross-section of the fault space while single-site coverage is
         guaranteed across a modest number of seeds.
+
+        ``seams`` restricts the drawable sites to the named seam subset
+        (alias-friendly: ``["migration", "channel"]``); ``None`` keeps
+        the historical machine-seam pool, so existing seeds replay the
+        exact plans they always produced.
         """
         rng = random.Random(seed)
+        if seams is None:
+            pool = FAULT_SITES
+        else:
+            wanted = set(resolve_seams(seams))
+            pool = tuple(s for s in ALL_SITES if SITE_SEAMS[s] in wanted)
+            if not pool:
+                raise ValueError(f"no fault sites on seams {tuple(seams)!r}")
         count = rng.randint(min_events, max_events)
-        sites = rng.sample(FAULT_SITES, min(count, len(FAULT_SITES)))
+        sites = rng.sample(pool, min(count, len(pool)))
         events = tuple(_draw_event(rng, site) for site in sites)
         return cls(seed, events)
 

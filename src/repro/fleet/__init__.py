@@ -1,0 +1,36 @@
+"""Fleet orchestration: CVM lifecycle + live migration under load.
+
+The composition scenario that exercises three prior subsystems in one
+run: SM channels + attested launch, :mod:`repro.sm.migration`
+export/import, and the seeded fault campaign -- wired into a multi-host
+rebalancing control loop with per-migration downtime measurement and
+containment sweeps.  See ``docs/FLEET.md`` for the control loop, the
+downtime methodology and the containment invariants; drive it with
+``python -m repro fleet``.
+"""
+
+from repro.fleet.host import FleetHost
+from repro.fleet.orchestrator import (
+    DEFAULT_SEAMS,
+    FLEET_SECRET,
+    FleetConfig,
+    FleetCvm,
+    FleetOrchestrator,
+    FleetSeedResult,
+    run_fleet_ablation,
+    run_fleet_campaign,
+    run_fleet_seed,
+)
+
+__all__ = [
+    "FleetHost",
+    "FleetConfig",
+    "FleetCvm",
+    "FleetOrchestrator",
+    "FleetSeedResult",
+    "run_fleet_seed",
+    "run_fleet_campaign",
+    "run_fleet_ablation",
+    "DEFAULT_SEAMS",
+    "FLEET_SECRET",
+]

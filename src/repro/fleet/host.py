@@ -1,0 +1,44 @@
+"""One simulated host of a ZION fleet: a full machine plus fleet identity.
+
+A :class:`FleetHost` owns an independent :class:`~repro.machine.Machine`
+-- its own SM, hypervisor, secure pool, cycle ledger -- exactly as each
+physical board in a deployment would.  On top it carries the two pieces
+of fleet identity migration needs: a deterministic per-host *nonce*
+(both SMs mix their nonces into the migration key, so every host pair
+derives a distinct key) and a host id the orchestrator schedules by.
+
+Hosts share the simulator's default attestation device secret, which
+models a fleet whose verifier trusts one platform vendor key: a report
+signed by any host's SM verifies on any other, and what distinguishes a
+genuine arrival from an impostor is the *measurement* inside the report,
+never the signature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.machine import Machine, MachineConfig
+
+
+class FleetHost:
+    """A fleet member: one machine plus its migration identity."""
+
+    def __init__(self, host_id: int, config: MachineConfig | None = None):
+        self.host_id = host_id
+        self.machine = Machine(config or MachineConfig())
+        #: Migration-key nonce; deterministic per host id so seeded fleet
+        #: runs replay bit-for-bit (a production SM would draw it fresh).
+        self.nonce = hashlib.sha256(f"zion-fleet-host-{host_id}".encode()).digest()[:16]
+
+    @property
+    def cycles(self) -> int:
+        """This host's ledger total (its private notion of time)."""
+        return self.machine.ledger.total
+
+    def describe(self) -> str:
+        """Short identity string for logs and reports."""
+        return f"host{self.host_id}"
+
+    def __repr__(self):
+        return f"FleetHost({self.host_id})"

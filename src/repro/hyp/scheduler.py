@@ -27,6 +27,14 @@ class RoundRobinScheduler:
         # Insertion-ordered (dict keys) so wake_all unparks in block order
         # -- keeps concurrent runs deterministic for seeded replay.
         self._blocked: dict = {}
+        #: Park/resume accounting, reported by :meth:`stats`.  The fleet
+        #: orchestrator reads these to attribute serving-round stalls:
+        #: a rebalancing epoch that parks often is channel-bound, one
+        #: that barely parks is compute-bound.
+        self.park_count = 0
+        self.wake_count = 0
+        self.wake_front_count = 0
+        self.wake_all_count = 0
 
     def add(self, item) -> None:
         """Append a runnable item to the rotation."""
@@ -55,6 +63,7 @@ class RoundRobinScheduler:
         except ValueError:
             return
         self._blocked[item] = None
+        self.park_count += 1
 
     def wake(self, item, front: bool = False) -> bool:
         """Return a blocked item to the rotation; True if it was parked.
@@ -71,17 +80,30 @@ class RoundRobinScheduler:
             del self._blocked[item]
             if front:
                 self._queue.appendleft(item)
+                self.wake_front_count += 1
             else:
                 self._queue.append(item)
+            self.wake_count += 1
             return True
         return False
 
     def wake_all(self) -> int:
         """Unpark every blocked item, in the order they blocked."""
         woken = len(self._blocked)
+        if woken:
+            self.wake_all_count += 1
         for item in tuple(self._blocked):
             self.wake(item)
         return woken
+
+    def stats(self) -> dict:
+        """Park/resume accounting snapshot (counts since construction)."""
+        return {
+            "parks": self.park_count,
+            "wakes": self.wake_count,
+            "front_wakes": self.wake_front_count,
+            "wake_all_calls": self.wake_all_count,
+        }
 
     def remove(self, item) -> None:
         """Drop an item from the rotation (no-op if absent)."""

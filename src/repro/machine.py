@@ -378,7 +378,8 @@ class Machine:
         router<->shard hops (see docs/DATA_PLANE.md).
 
         Returns ``{session: workload_return_value}`` plus the total cycle
-        span under the key ``"cycles"``.
+        span under the key ``"cycles"`` and the scheduler's park/resume
+        accounting under ``"sched"``.
         """
         from repro.hyp.scheduler import RoundRobinScheduler
 
@@ -435,6 +436,7 @@ class Machine:
         finally:
             self.hypervisor.scheduler_wake = previous_wake
         results["cycles"] = span.cycles
+        results["sched"] = scheduler.stats()
         return results
 
     def _enter_guest(self, session: GuestSession) -> None:

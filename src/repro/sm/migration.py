@@ -63,6 +63,7 @@ def export_cvm(monitor, cvm_id: int, key: bytes) -> bytes:
     """
     cvm = monitor._cvm(cvm_id)
     cvm.require_state(CvmState.SUSPENDED)
+    monitor.migration_export_seq += 1
 
     class Raw:
         def read_u64(self, addr):
@@ -94,6 +95,10 @@ def export_cvm(monitor, cvm_id: int, key: bytes) -> bytes:
             for vcpu in cvm.vcpus
         ],
         "page_count": len(pages),
+        # Freshness: no two exports (even of an unchanged CVM) seal to
+        # the same blob, so the destination's replay registry only ever
+        # refuses genuine re-deliveries of one sealed instance.
+        "export_seq": monitor.migration_export_seq,
     }
     header_bytes = json.dumps(header, sort_keys=True).encode()
     body = bytearray()
@@ -115,49 +120,110 @@ def export_cvm(monitor, cvm_id: int, key: bytes) -> bytes:
     return blob
 
 
+def _parse_header(plaintext: bytes) -> tuple:
+    """Validate blob framing and return ``(header, pages_offset)``.
+
+    The MAC already proved the plaintext came from a peer SM, but a
+    production monitor still refuses to index past buffer ends on a
+    malformed (e.g. stale-format) blob: every length field is
+    bounds-checked before use and any inconsistency is a typed
+    :class:`SecurityViolation`, never an IndexError unwinding M mode.
+    """
+    if len(plaintext) < 4:
+        raise SecurityViolation("migration blob framing invalid: no header length")
+    (header_len,) = struct.unpack_from("<I", plaintext, 0)
+    if header_len <= 0 or 4 + header_len > len(plaintext):
+        raise SecurityViolation(
+            f"migration blob framing invalid: header length {header_len} "
+            f"exceeds payload ({len(plaintext)} bytes)"
+        )
+    try:
+        header = json.loads(plaintext[4 : 4 + header_len].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SecurityViolation(
+            f"migration blob header is not valid JSON: {error}"
+        ) from error
+    for field in ("layout", "vcpus", "page_count", "measurement"):
+        if field not in header:
+            raise SecurityViolation(f"migration blob header missing {field!r}")
+    if not header["vcpus"]:
+        raise SecurityViolation("migration blob describes a CVM with no vCPUs")
+    page_count = header["page_count"]
+    offset = 4 + header_len
+    body = len(plaintext) - offset
+    if page_count < 0 or page_count * (8 + PAGE_SIZE) != body:
+        raise SecurityViolation(
+            f"migration blob page section inconsistent: header says "
+            f"{page_count} pages, body holds {body} bytes"
+        )
+    return header, offset
+
+
 def import_cvm(monitor, blob: bytes, key: bytes, vcpu_count: int | None = None) -> int:
     """Verify, decrypt and re-instantiate a migrated CVM.
 
-    Returns the new ``cvm_id`` (FINALIZED, ready to run once the host
-    provisions shared vCPU pages and the shared subtree).  Raises
-    :class:`SecurityViolation` for any authenticity failure.
+    Returns the new ``cvm_id`` (CREATED, ready to run once the host
+    provisions shared vCPU pages and the shared subtree and finalizes).
+    Raises :class:`SecurityViolation` for any authenticity failure:
+    a tampered or truncated blob (MAC/framing), a mismatched migration
+    key, or a *replayed* blob -- each sealed instance may be imported at
+    most once per destination SM, so a hypervisor cannot clone a CVM by
+    re-delivering its blob.  If instantiation fails partway (e.g. the
+    pool runs dry mid-copy), the partial CVM is destroyed -- scrubbed
+    and its frames recycled -- before the error propagates, so a failed
+    arrival can never leak secure memory.
     """
     if len(blob) < len(_MAGIC) + 32 or not blob.startswith(_MAGIC):
         raise SecurityViolation("migration blob framing invalid")
     ciphertext, tag = blob[len(_MAGIC):-32], blob[-32:]
     if not hmac.compare_digest(_mac(key, ciphertext), tag):
         raise SecurityViolation("migration blob failed authentication")
+    if tag in monitor.migration_imports:
+        raise SecurityViolation(
+            "migration blob replayed: this sealed instance was already "
+            "imported on this host"
+        )
     monitor.ledger.charge(Category.COPY, monitor.costs.copy_bytes(len(ciphertext)))
     monitor.ledger.charge(Category.SM_LOGIC, 12_000)
     plaintext = _xor(ciphertext, _keystream(key, len(ciphertext)))
 
-    (header_len,) = struct.unpack_from("<I", plaintext, 0)
-    header = json.loads(plaintext[4 : 4 + header_len].decode())
+    header, offset = _parse_header(plaintext)
     layout = GpaLayout(**header["layout"])
     vcpus = header["vcpus"]
 
     cvm_id = monitor.ecall_create_cvm(layout, vcpu_count or len(vcpus))
     cvm = monitor.cvms[cvm_id]
 
-    offset = 4 + header_len
-    for _ in range(header["page_count"]):
-        (gpa,) = struct.unpack_from("<Q", plaintext, offset)
-        offset += 8
-        data = plaintext[offset : offset + PAGE_SIZE]
-        offset += PAGE_SIZE
-        pa = monitor._alloc_and_map(cvm, 0, gpa)
-        monitor.dram.write(pa, data)
-        monitor.ledger.charge(Category.COPY, monitor.costs.copy_bytes(PAGE_SIZE))
+    try:
+        for _ in range(header["page_count"]):
+            (gpa,) = struct.unpack_from("<Q", plaintext, offset)
+            offset += 8
+            data = plaintext[offset : offset + PAGE_SIZE]
+            offset += PAGE_SIZE
+            if not cvm.layout.in_private_dram(gpa):
+                raise SecurityViolation(
+                    f"migration blob maps GPA {gpa:#x} outside the "
+                    "CVM's private DRAM window"
+                )
+            pa = monitor._alloc_and_map(cvm, 0, gpa)
+            monitor.dram.write(pa, data)
+            monitor.ledger.charge(Category.COPY, monitor.costs.copy_bytes(PAGE_SIZE))
 
-    for vcpu, state in zip(cvm.vcpus, vcpus):
-        vcpu.gprs = dict(state["gprs"])
-        vcpu.csrs = dict(state["csrs"])
-        vcpu.pc = state["pc"]
+        for vcpu, state in zip(cvm.vcpus, vcpus):
+            vcpu.gprs = dict(state["gprs"])
+            vcpu.csrs = dict(state["csrs"])
+            vcpu.pc = state["pc"]
 
-    if header["measurement"] is not None:
-        cvm.measurement = bytes.fromhex(header["measurement"])
-    cvm.rtmrs = [bytes.fromhex(r) for r in header.get("rtmrs", [])] or cvm.rtmrs
-    cvm.measurement_log.extend("migrated-in", blob[-32:])
-    cvm.measurement_log.finalize()
+        if header["measurement"] is not None:
+            cvm.measurement = bytes.fromhex(header["measurement"])
+        cvm.rtmrs = [bytes.fromhex(r) for r in header.get("rtmrs", [])] or cvm.rtmrs
+        cvm.measurement_log.extend("migrated-in", blob[-32:])
+        cvm.measurement_log.finalize()
+    except Exception:
+        # Fail-stop without a leak: scrub and recycle whatever the
+        # partial import already mapped, then surface the typed error.
+        monitor.ecall_destroy(cvm_id)
+        raise
+    monitor.migration_imports.add(tag)
     cvm.state = CvmState.CREATED  # still needs shared vCPUs from the host
     return cvm_id

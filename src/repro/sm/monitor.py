@@ -107,6 +107,16 @@ class SecureMonitor:
         self._cvm_blocks: dict[int, list] = {}
         self._ids = itertools.count(1)
         self._vmids = itertools.count(1)
+        #: MAC tags of migration blobs already imported on this host; the
+        #: SM refuses a second import of the same sealed instance so the
+        #: untrusted hypervisor cannot clone a CVM by replaying its blob.
+        self.migration_imports: set = set()
+        #: Monotonic export freshness counter, mixed into every sealed
+        #: blob so two exports are never byte-identical -- without it, a
+        #: CVM bounced back and forth unchanged would reseal to the same
+        #: blob and trip the peer's replay registry on a *legitimate*
+        #: second arrival.
+        self.migration_export_seq = 0
         #: Set by :meth:`connect_hypervisor`; required for stage-3 expansion.
         self.hypervisor = None
         #: Platform CLINT for cross-hart shootdowns; installed by the machine.

@@ -12,7 +12,12 @@ Workload profiles (working-set size, I/O rates, per-operation costs) are
 calibrated against the paper's platform; see ``DESIGN.md`` section 5.
 """
 
-from repro.workloads.profiles import RV8_PROFILES, CpuWorkloadProfile
+from repro.workloads.profiles import (
+    FLEET_MIX,
+    RV8_PROFILES,
+    CpuWorkloadProfile,
+    FleetProfile,
+)
 from repro.workloads.cpu import cpu_bound_workload
 from repro.workloads.coremark import COREMARK_PROFILE, coremark_workload
 from repro.workloads.redis import (
@@ -28,6 +33,8 @@ from repro.workloads.pingpong import pingpong_client, pingpong_server
 __all__ = [
     "CpuWorkloadProfile",
     "RV8_PROFILES",
+    "FleetProfile",
+    "FLEET_MIX",
     "cpu_bound_workload",
     "COREMARK_PROFILE",
     "coremark_workload",

@@ -32,6 +32,36 @@ class CpuWorkloadProfile:
     mmio_per_1e9: int = 40
 
 
+@dataclasses.dataclass(frozen=True)
+class FleetProfile:
+    """One CVM's serving role in a fleet-orchestrator run.
+
+    ``kind`` names the serving behaviour (``kv`` for a redis-like
+    key-value store, ``file`` for an iozone-like file worker, ``ping``
+    / ``pong`` for a co-located channel pair).  ``weight`` sets how many
+    operations the CVM serves per orchestrator epoch relative to its
+    peers, so a mixed fleet produces uneven host load -- the imbalance
+    the rebalancer exists to chase.
+    """
+
+    kind: str
+    #: Serving operations per orchestrator epoch.
+    ops_per_epoch: int
+    #: Relative load weight used by the rebalancer's host-load estimate.
+    weight: int = 1
+
+
+#: The default mixed fleet (redis/iozone/pingpong), cycled over CVM
+#: slots in order: CVM ``i`` gets ``FLEET_MIX[i % len(FLEET_MIX)]``.
+#: ``ping``/``pong`` entries are adjacent so the pair lands co-located.
+FLEET_MIX = (
+    FleetProfile("kv", ops_per_epoch=6, weight=3),
+    FleetProfile("file", ops_per_epoch=4, weight=2),
+    FleetProfile("ping", ops_per_epoch=3, weight=1),
+    FleetProfile("pong", ops_per_epoch=3, weight=1),
+)
+
+
 #: The RV8 benchmark suite (paper Table I).
 RV8_PROFILES = {
     "aes": CpuWorkloadProfile("aes", total_cycles=6_312_000_000, ws_pages=132),

@@ -65,3 +65,60 @@ def test_describe_names_seed_and_sites():
 
 def test_event_describe_is_compact():
     assert FaultEvent("doorbell_drop", 3).describe() == "doorbell_drop[@3]"
+
+
+# -- seam-scoped plans (repro.fleet's migration campaigns) -------------------
+
+
+def test_resolve_seams_aliases_and_dedup():
+    from repro.faults.plan import resolve_seams
+
+    assert resolve_seams(["channel"]) == ("notify",)
+    assert resolve_seams(["lifecycle"]) == ("enter", "expand", "timer")
+    assert resolve_seams(["migration", "channel"]) == ("migration", "notify")
+    # First-mention order, duplicates collapsed.
+    assert resolve_seams(["notify", "channel", "notify"]) == ("notify",)
+
+
+def test_resolve_seams_rejects_unknown_names():
+    import pytest
+
+    from repro.faults.plan import resolve_seams
+
+    with pytest.raises(ValueError, match="unknown fault seam"):
+        resolve_seams(["migration", "typo"])
+
+
+def test_seam_scoped_plan_draws_only_from_those_seams():
+    for seed in range(20):
+        plan = FaultPlan.from_seed(seed, seams=["migration", "channel"])
+        for event in plan:
+            assert SITE_SEAMS[event.site] in ("migration", "notify")
+
+
+def test_seam_scoped_plan_with_no_sites_is_an_error():
+    import pytest
+
+    with pytest.raises(ValueError, match="no fault sites"):
+        FaultPlan.from_seed(0, seams=[])
+
+
+def test_default_pool_replays_historical_plans_exactly():
+    """seams=None must keep the pre-migration-era rng stream: existing
+    seeds replay the exact plans they always produced."""
+    for seed in range(20):
+        unscoped = FaultPlan.from_seed(seed)
+        explicit = FaultPlan.from_seed(seed, seams=None)
+        assert unscoped.events == explicit.events
+        for event in unscoped:
+            assert event.site in FAULT_SITES  # never a migration site
+
+
+def test_migration_sites_reachable_across_seeds():
+    from repro.faults.plan import MIGRATION_SITES
+
+    seen = set()
+    for seed in range(60):
+        for event in FaultPlan.from_seed(seed, seams=["migration"]):
+            seen.add(event.site)
+    assert seen == set(MIGRATION_SITES)

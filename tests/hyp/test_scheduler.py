@@ -86,3 +86,36 @@ def test_double_block_keeps_single_parked_entry():
     assert sched.blocked_count == 1
     assert sched.wake("a") is True
     assert len(sched) == 1
+
+
+def test_stats_counts_parks_and_wakes():
+    sched = _sched("a", "b")
+    sched.block("a")
+    sched.wake("a")
+    sched.block("b")
+    sched.wake("b", front=True)
+    assert sched.stats() == {
+        "parks": 2, "wakes": 2, "front_wakes": 1, "wake_all_calls": 0,
+    }
+
+
+def test_stats_counts_wake_all_only_when_it_woke_someone():
+    sched = _sched("a", "b")
+    sched.wake_all()  # nobody parked: not a wake-all event
+    sched.block("a")
+    sched.block("b")
+    sched.wake_all()
+    stats = sched.stats()
+    assert stats["wake_all_calls"] == 1
+    assert stats["parks"] == 2
+    assert stats["wakes"] == 2  # wake_all routes through wake()
+
+
+def test_stats_ignore_noop_blocks_and_failed_wakes():
+    sched = _sched("a")
+    sched.block("ghost")  # absent: no park
+    sched.wake("ghost")   # absent: no wake
+    sched.block("a")
+    sched.block("a")      # second block is a no-op
+    assert sched.stats()["parks"] == 1
+    assert sched.stats()["wakes"] == 0

@@ -127,6 +127,66 @@ class TestBlobSecurity:
         assert first.cvm.measurement == second.cvm.measurement
 
 
+class TestMigratedInMeasurementLog:
+    """Pins the adopt path's measurement-log semantics.
+
+    A migrated-in CVM keeps its *original launch measurement* -- that is
+    its attestation identity, and relying parties must not see it change
+    just because the fleet moved the CVM -- while the destination's local
+    measurement log records the migration event (a ``migrated-in`` entry
+    keyed by the blob's MAC tag) and is finalized by the adopt path's
+    ``ecall_finalize`` without overwriting the measurement.
+    """
+
+    def test_adopt_keeps_original_measurement_despite_new_log(self, source_pair, key):
+        source, session = source_pair
+        source.run(session, lambda ctx: ctx.compute(100))
+        original = session.cvm.measurement
+        blob = source.export_confidential_vm(session, key)
+
+        destination = Machine(MachineConfig())
+        migrated = destination.import_confidential_vm(blob, key)
+        # Identity preserved through the finalize the adopt path runs...
+        assert migrated.cvm.measurement == original
+        # ...even though the local log (which hashed "migrated-in", not
+        # the original image/entry-point sequence) digests differently.
+        assert migrated.cvm.measurement_log.digest is not None
+        assert migrated.cvm.measurement_log.digest != original
+
+    def test_local_log_contains_exactly_layout_and_migrated_in(self, source_pair, key):
+        """The adopt log is layout + migrated-in(blob MAC), nothing else."""
+        from repro.sm.attestation import MeasurementLog
+
+        source, session = source_pair
+        source.run(session, lambda ctx: ctx.compute(100))
+        layout = session.cvm.layout
+        blob = source.export_confidential_vm(session, key)
+
+        destination = Machine(MachineConfig())
+        migrated = destination.import_confidential_vm(blob, key)
+
+        expected = MeasurementLog()
+        expected.extend(
+            "layout",
+            repr((layout.dram_base, layout.dram_size, layout.shared_base)).encode(),
+        )
+        expected.extend("migrated-in", blob[-32:])
+        assert migrated.cvm.measurement_log.digest == expected.finalize()
+
+    def test_report_after_migration_signs_the_original_measurement(self, source_pair, key):
+        source, session = source_pair
+        source.run(session, lambda ctx: ctx.compute(100))
+        original = session.cvm.measurement
+        blob = source.export_confidential_vm(session, key)
+        destination = Machine(MachineConfig())
+        migrated = destination.import_confidential_vm(blob, key)
+        report = destination.monitor.ecall_attestation_report(
+            migrated.cvm.cvm_id, b"log-pin"
+        )
+        assert report.measurement == original
+        assert destination.monitor.attestation.verify_report(report)
+
+
 class TestKeyDerivation:
     def test_same_inputs_same_key(self):
         a = derive_migration_key(b"s", b"n1", b"n2")

@@ -35,3 +35,54 @@ def test_experiments_subset(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+def test_faults_seams_subset(capsys):
+    assert main(["faults", "--seeds", "1", "--seams", "channel"]) == 0
+    assert "campaign:" in capsys.readouterr().out
+
+
+def test_faults_unknown_seam_rejected(capsys):
+    assert main(["faults", "--seeds", "1", "--seams", "bogus"]) == 2
+    assert "unknown fault seam" in capsys.readouterr().out
+
+
+def test_fleet_smoke(capsys):
+    assert main(["fleet", "--hosts", "2", "--cvms", "4", "--seeds", "1",
+                 "--epochs", "4", "--rate", "2", "--min-migrations", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet campaign: 1 seeds, 0 failing" in out
+    assert "violations=0" in out
+
+
+def test_fleet_seed_replay_clean(capsys):
+    assert main(["fleet", "--hosts", "2", "--cvms", "4", "--seed", "0",
+                 "--epochs", "3", "--rate", "1", "--seams", "none",
+                 "--min-migrations", "1", "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "plan:" in out
+    assert "all attestation-checked: True" in out
+
+
+def test_fleet_min_migrations_gate(capsys):
+    # Epochs 0-1 never migrate, so a 2-epoch run cannot reach the floor.
+    assert main(["fleet", "--hosts", "2", "--cvms", "4", "--seeds", "1",
+                 "--epochs", "2", "--rate", "2", "--seams", "none",
+                 "--min-migrations", "1"]) == 1
+    assert "TOO FEW MIGRATIONS" in capsys.readouterr().out
+
+
+def test_fleet_ablation_table(capsys, monkeypatch):
+    # The default grid is acceptance-sized; patch in a tiny one.
+    import repro.fleet
+
+    real_ablation = repro.fleet.run_fleet_ablation
+
+    def tiny_grid():
+        return real_ablation(rates=(1,), sizes=((2, 4),), epochs=3)
+
+    monkeypatch.setattr(repro.fleet, "run_fleet_ablation", tiny_grid)
+    assert main(["fleet", "--ablate"]) == 0
+    out = capsys.readouterr().out
+    assert "downtime mean" in out
+    assert "    2     4     1" in out

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.cycles",
     "repro.workloads",
     "repro.bench",
+    "repro.fleet",
 ]
 
 
