@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install verify test bench bench-full experiments faults perf lint linkcheck redis-cluster fleet examples clean
+.PHONY: install verify test bench bench-full experiments faults perf lint linkcheck redis-cluster fleet virtio-batch examples clean
 
 install:
 	pip install -e .
@@ -41,6 +41,11 @@ redis-cluster:
 # adversarial load, acceptance-sized campaign (docs/FLEET.md).
 fleet:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro fleet --hosts 4 --cvms 12 --seeds 3
+
+# Batched-vs-naive virtio data-plane ablation smoke (docs/DATA_PLANE.md):
+# fails if MMIO-exit or doorbell reduction drops below 2x.
+virtio-batch:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro virtio-batch
 
 # Verify every relative link in README/docs resolves to a real file.
 linkcheck:

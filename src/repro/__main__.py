@@ -19,6 +19,11 @@ Commands:
   trust-boundary/taint/charging analyzer for the SM seam (INTERNALS
   §12); exits non-zero on findings that are neither pragma-suppressed
   nor baselined;
+- ``virtio-batch [--quick]`` — batched-vs-naive virtio data-plane
+  smoke: run the iozone and redis ablation arms plus the channel
+  doorbell ablation, print the exit/interrupt/doorbell reductions, and
+  exit non-zero if MMIO-exit reduction drops below 2x
+  (docs/DATA_PLANE.md);
 - ``redis-cluster [--shards N --clients C --requests R --pipeline K]``
   — run the sharded redis cluster over SM channels once and print its
   throughput/latency/balance stats (docs/DATA_PLANE.md);
@@ -240,6 +245,50 @@ def _cmd_perf(args) -> int:
     return 1 if problems else 0
 
 
+def _cmd_virtio_batch(args) -> int:
+    from repro.bench.ipc import run_doorbell_ablation
+    from repro.bench.perf import run_iozone, run_redis_batch
+
+    if args.quick:
+        runs = [
+            run_iozone(file_mb=2, record_kb=64, queue_depth=8),
+            run_redis_batch(requests=64, pipeline=8),
+        ]
+        doorbells = run_doorbell_ablation(messages=128, burst=64)
+    else:
+        runs = [run_iozone(), run_redis_batch()]
+        doorbells = run_doorbell_ablation()
+
+    failures = 0
+    for run in runs:
+        extra = run.extra
+        print(
+            f"{run.name:<12} exits {extra['naive']['mmio_exits']:>5} -> "
+            f"{extra['batched']['mmio_exits']:>5} "
+            f"({extra['mmio_exit_reduction']:.1f}x)   "
+            f"irqs {extra['naive']['irqs_raised']:>5} -> "
+            f"{extra['batched']['irqs_raised']:>5} "
+            f"({extra['irq_reduction']:.1f}x)   "
+            f"cycles {extra['cycle_reduction']:.2f}x"
+        )
+        if extra["mmio_exit_reduction"] < 2:
+            print(f"FAIL: {run.name} MMIO-exit reduction "
+                  f"{extra['mmio_exit_reduction']:.2f}x < 2x")
+            failures += 1
+    print(
+        f"{'doorbells':<12} rung {doorbells['eager']['doorbells']:>5} -> "
+        f"{doorbells['adaptive']['doorbells']:>5} "
+        f"({doorbells['doorbell_reduction']:.1f}x)   "
+        f"suppressed {doorbells['adaptive']['suppressed']}   "
+        f"cycles saved {doorbells['cycles_saved']:,}"
+    )
+    if doorbells["doorbell_reduction"] < 2:
+        print(f"FAIL: doorbell reduction "
+              f"{doorbells['doorbell_reduction']:.2f}x < 2x")
+        failures += 1
+    return 1 if failures else 0
+
+
 def _cmd_redis_cluster(args) -> int:
     from repro.bench.redis_cluster import run_cluster
 
@@ -392,6 +441,13 @@ def main(argv=None) -> int:
     perf.add_argument("--update-goldens", action="store_true",
                       help="re-record golden cycle totals (model changes only)")
     perf.set_defaults(func=_cmd_perf)
+    virtio_batch = sub.add_parser(
+        "virtio-batch",
+        help="batched-vs-naive virtio + doorbell ablation smoke",
+    )
+    virtio_batch.add_argument("--quick", action="store_true",
+                              help="CI-scale loads (same code paths)")
+    virtio_batch.set_defaults(func=_cmd_virtio_batch)
     cluster = sub.add_parser("redis-cluster",
                              help="sharded redis over SM channels, one run")
     cluster.add_argument("--shards", type=int, default=4,

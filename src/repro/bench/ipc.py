@@ -17,8 +17,14 @@ identically; what differs is exactly the data path.
 
 from __future__ import annotations
 
-from repro.machine import Machine, MachineConfig
-from repro.workloads.pingpong import pingpong_client, pingpong_server
+from repro.ipc.endpoint import ChannelEndpoint
+from repro.machine import Machine, MachineConfig, WAIT_DOORBELL
+from repro.workloads.pingpong import (
+    DEFAULT_WINDOW_SIZE,
+    _window_gpa,
+    pingpong_client,
+    pingpong_server,
+)
 
 _IMAGE = b"ipc-bench-guest" * 64
 
@@ -114,6 +120,112 @@ def run_virtio_pingpong(message_size: int, rounds: int) -> dict:
     assert results[client]["rounds"] == rounds, "virtio ping-pong incomplete"
     return _round_trip_stats(results, client, rounds, message_size,
                              machine.config.clock_hz)
+
+
+def run_doorbell_stream(message_size: int = 256, messages: int = 256,
+                        burst: int = 128, adaptive: bool = True) -> dict:
+    """One-way streaming producer -> consumer; counts doorbell traffic.
+
+    The shape adaptive coalescing exists for: the producer streams
+    ``burst`` messages per scheduling turn while the consumer drains in
+    batches and parks on :data:`~repro.machine.WAIT_DOORBELL` when the
+    ring is empty.  ``burst`` is sized to overflow the ring mid-burst, so
+    the credit-return direction (producer parked on a full ring) is
+    exercised as well as the data direction.  With ``adaptive=False``
+    (the eager arm) every successful send rings the peer; with the
+    default EVENT_IDX-style policy a doorbell fires only when an
+    operation crosses the peer's published wake point.
+    """
+    machine = Machine(MachineConfig())
+    consumer = machine.launch_confidential_vm(image=_IMAGE)
+    producer = machine.launch_confidential_vm(image=_IMAGE)
+    box: dict = {}
+    measurement = consumer.cvm.measurement
+
+    def consumer_workload(ctx):
+        endpoint = ChannelEndpoint.create(
+            ctx, _window_gpa(ctx), DEFAULT_WINDOW_SIZE, measurement,
+            adaptive=adaptive,
+        )
+        box["channel_id"] = endpoint.channel_id
+        yield  # let the producer connect
+        received = 0
+        while received < messages:
+            batch = endpoint.recv_many()
+            if not batch:
+                yield WAIT_DOORBELL
+                continue
+            received += len(batch)
+        return {
+            "received": received,
+            "doorbells": endpoint.doorbells_rung,
+            "suppressed": endpoint.doorbells_suppressed,
+        }
+
+    def producer_workload(ctx):
+        while "channel_id" not in box:
+            yield
+        endpoint = ChannelEndpoint.connect(
+            ctx, box["channel_id"], _window_gpa(ctx), measurement,
+            adaptive=adaptive,
+        )
+        payload = bytes(message_size)
+        sent = 0
+        in_burst = 0
+        while sent < messages:
+            if endpoint.send(payload):
+                sent += 1
+                in_burst += 1
+                if in_burst >= burst:
+                    in_burst = 0
+                    yield  # end of burst: let the consumer drain
+            else:
+                in_burst = 0
+                yield WAIT_DOORBELL  # ring full: wait for credits
+        return {
+            "sent": sent,
+            "doorbells": endpoint.doorbells_rung,
+            "suppressed": endpoint.doorbells_suppressed,
+        }
+
+    results = machine.run_concurrent([
+        (consumer, consumer_workload),
+        (producer, producer_workload),
+    ])
+    assert results[consumer]["received"] == messages, "stream incomplete"
+    return {
+        "adaptive": adaptive,
+        "messages": messages,
+        "message_size": message_size,
+        "cycles": results["cycles"],
+        "doorbells": (
+            results[consumer]["doorbells"] + results[producer]["doorbells"]
+        ),
+        "suppressed": (
+            results[consumer]["suppressed"] + results[producer]["suppressed"]
+        ),
+    }
+
+
+def run_doorbell_ablation(message_size: int = 256, messages: int = 256,
+                          burst: int = 128) -> dict:
+    """Eager vs adaptive doorbell policy on the same streaming workload.
+
+    Identical message work on both arms; the figures that differ are the
+    notify-ECALL count (each one a trap + SM dispatch + IPI) and the
+    cycles they cost.
+    """
+    eager = run_doorbell_stream(message_size, messages, burst, adaptive=False)
+    adaptive = run_doorbell_stream(message_size, messages, burst, adaptive=True)
+    return {
+        "eager": eager,
+        "adaptive": adaptive,
+        "doorbell_reduction": (
+            eager["doorbells"] / adaptive["doorbells"]
+            if adaptive["doorbells"] else float("inf")
+        ),
+        "cycles_saved": eager["cycles"] - adaptive["cycles"],
+    }
 
 
 def run_ipc_experiment(message_sizes=DEFAULT_MESSAGE_SIZES,

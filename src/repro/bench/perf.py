@@ -16,7 +16,11 @@ exercises the guest memory pipeline end to end:
 - ``fleet``: the multi-host rebalancing control loop (clean run, no
   fault injection): live migrations between simulated hosts, with
   per-migration downtime reported alongside the wall-clock numbers
-  (see docs/FLEET.md).
+  (see docs/FLEET.md);
+- ``iozone`` / ``redis_batch``: batched-vs-naive virtio data-plane
+  ablations (one naive arm, one batched arm, identical payload work);
+  their ``extra`` blocks carry per-arm kick/interrupt/MMIO-exit counts
+  and the reduction ratios (see docs/DATA_PLANE.md).
 
 The harness enforces the repository's one hard performance invariant:
 **optimizations may change how fast Python executes the model, never what
@@ -52,6 +56,8 @@ FULL_PARAMS = {
     "redis_cluster": {"shards": 4, "clients": 4, "requests": 64, "pipeline": 8},
     "switch_path": {"iterations": 400},
     "fleet": {"hosts": 3, "cvms": 8, "epochs": 5, "migration_rate": 3},
+    "iozone": {"file_mb": 4, "record_kb": 64, "queue_depth": 8},
+    "redis_batch": {"requests": 200, "pipeline": 8, "op": "GET"},
 }
 QUICK_PARAMS = {
     "memstress": {"pages": 400},
@@ -60,6 +66,8 @@ QUICK_PARAMS = {
     "redis_cluster": {"shards": 2, "clients": 2, "requests": 16, "pipeline": 4},
     "switch_path": {"iterations": 100},
     "fleet": {"hosts": 2, "cvms": 4, "epochs": 3, "migration_rate": 2},
+    "iozone": {"file_mb": 2, "record_kb": 64, "queue_depth": 8},
+    "redis_batch": {"requests": 64, "pipeline": 8, "op": "GET"},
 }
 
 
@@ -179,6 +187,122 @@ def run_redis_cluster(shards: int = 4, clients: int = 4, requests: int = 64,
     )
 
 
+def _virtio_ablation(name: str, params: dict, naive_arm, batched_arm) -> ScenarioRun:
+    """Package a naive-vs-batched virtio pair as one scenario.
+
+    Both arms run identical payload work; cycles and breakdowns are
+    summed over the two machines (the fleet pattern), and the per-arm
+    exit/kick/interrupt statistics plus their reduction ratios ride in
+    :attr:`ScenarioRun.extra` -- the acceptance figure for the batched
+    data plane is ``mmio_exit_reduction >= 2``.
+    """
+    t0 = time.perf_counter()
+    naive_machine, naive = naive_arm()
+    batched_machine, batched = batched_arm()
+    wall = time.perf_counter() - t0
+    total = naive_machine.ledger.total + batched_machine.ledger.total
+    breakdown: dict = {}
+    for machine in (naive_machine, batched_machine):
+        for cat, cycles in machine.ledger.by_category().items():
+            breakdown[cat.name] = breakdown.get(cat.name, 0) + cycles
+    return ScenarioRun(
+        name=name,
+        params=params,
+        wall_seconds=wall,
+        cycles=total,
+        total_cycles=total,
+        breakdown=breakdown,
+        extra={
+            "naive": naive,
+            "batched": batched,
+            "mmio_exit_reduction": round(
+                naive["mmio_exits"] / batched["mmio_exits"], 2
+            ) if batched["mmio_exits"] else 0.0,
+            "kick_reduction": round(
+                naive["kicks"] / batched["kicks"], 2
+            ) if batched["kicks"] else 0.0,
+            "irq_reduction": round(
+                naive["irqs_raised"] / batched["irqs_raised"], 2
+            ) if batched["irqs_raised"] else 0.0,
+            "cycle_reduction": round(
+                naive["cycles"] / batched["cycles"], 3
+            ) if batched["cycles"] else 0.0,
+        },
+    )
+
+
+def _virtio_arm_stats(machine: Machine, device) -> dict:
+    return {
+        "kicks": device.kicks,
+        "irqs_raised": device.irqs_raised,
+        "completions": device.completions,
+        "mmio_exits": machine.hypervisor.mmio_exits,
+        "cycles": machine.ledger.total,
+    }
+
+
+def run_iozone(file_mb: int = 4, record_kb: int = 64, queue_depth: int = 8) -> ScenarioRun:
+    """Batched-vs-naive virtio-blk ablation on the IOZone streaming path.
+
+    A deliberately small (1 MB) page cache forces writeback/readahead to
+    stream every byte through virtio-blk.  The naive arm submits one
+    request per kick with per-descriptor interrupts (``event_idx=False``,
+    depth 1 -- the pre-batching data plane); the batched arm stages
+    ``queue_depth`` requests per doorbell with interrupt suppression.
+    Identical file/record work on both arms, so every exit saved is the
+    batching's doing.
+    """
+    from repro.workloads.iozone import iozone_workload
+
+    cache_bytes = 1 << 20
+    file_bytes = file_mb << 20
+    record_bytes = record_kb << 10
+
+    def arm(depth: int, event_idx: bool):
+        machine = Machine(MachineConfig())
+        session = machine.launch_confidential_vm(image=b"iozone" * 100)
+        machine.attach_virtio_block(session, event_idx=event_idx)
+        machine.run(
+            session,
+            iozone_workload(file_bytes, record_bytes, cache_bytes,
+                            queue_depth=depth),
+        )
+        return machine, _virtio_arm_stats(machine, session.virtio_blk)
+
+    return _virtio_ablation(
+        "iozone",
+        {"file_mb": file_mb, "record_kb": record_kb, "queue_depth": queue_depth},
+        lambda: arm(1, False),
+        lambda: arm(queue_depth, True),
+    )
+
+
+def run_redis_batch(requests: int = 200, pipeline: int = 8, op: str = "GET") -> ScenarioRun:
+    """Batched-vs-naive virtio-net ablation on the redis request path.
+
+    Same request count and operation on both arms.  The naive arm runs
+    unpipelined with per-descriptor interrupts (one TX kick and one IRQ
+    per reply); the batched arm pipelines ``pipeline`` requests per
+    wake-up, so the server's reply batch rides one kick and one
+    suppressed-interrupt drain.
+    """
+    from repro.workloads.redis import redis_benchmark
+
+    def arm(pl: int, event_idx: bool):
+        machine = Machine(MachineConfig())
+        session = machine.launch_confidential_vm(image=b"redis" * 200)
+        machine.attach_virtio_net(session, event_idx=event_idx)
+        redis_benchmark(machine, session, op, requests, pipeline=pl)
+        return machine, _virtio_arm_stats(machine, session.virtio_net)
+
+    return _virtio_ablation(
+        "redis_batch",
+        {"requests": requests, "pipeline": pipeline, "op": op},
+        lambda: arm(1, False),
+        lambda: arm(pipeline, True),
+    )
+
+
 def run_switch_path(iterations: int = 400) -> ScenarioRun:
     """Tight short-path world-switch loop (timer exits, E2's shape)."""
     machine = Machine(MachineConfig())
@@ -244,6 +368,8 @@ SCENARIOS = {
     "redis_cluster": run_redis_cluster,
     "switch_path": run_switch_path,
     "fleet": run_fleet,
+    "iozone": run_iozone,
+    "redis_batch": run_redis_batch,
 }
 
 

@@ -87,6 +87,44 @@ class ShardDown(ReproError):
         )
 
 
+class VirtioError(ReproError):
+    """Base class for virtio transport errors (device or driver side)."""
+
+
+class VirtqueueOverflow(VirtioError):
+    """A descriptor was posted to a virtqueue whose ring is full.
+
+    Driver-side bug (the guest must respect the ring size it chose);
+    typed so callers can distinguish it from device misbehaviour.
+    """
+
+
+class VirtioDmaError(VirtioError):
+    """A virtio device was asked to DMA with no translation installed.
+
+    Host wiring bug: :meth:`repro.machine.Machine.attach_virtio_block`
+    and friends install ``dma_translate`` before the device is visible
+    to the guest, so hitting this means the device was constructed by
+    hand and used half-wired.
+    """
+
+
+class VirtioIoError(VirtioError):
+    """A virtio request completed with a non-OK status.
+
+    Device side, this is raised *internally* for a guest-posted request
+    the device refuses (e.g. I/O beyond the disk, a read spanning mixed
+    real/symbolic regions) and converted into the completed descriptor's
+    ``status`` byte -- it never unwinds through the device model into
+    the host loop.  Driver side, it is raised to the guest caller when a
+    completion carries a non-OK status, carrying that status.
+    """
+
+    def __init__(self, message: str, status: int = 1):
+        self.status = status
+        super().__init__(message)
+
+
 class TrapRaised(ReproError):
     """An architectural trap (exception) occurred during an access.
 

@@ -78,3 +78,40 @@ class Swiotlb:
     def bounce(self, length: int) -> None:
         """Charge one direction of a bounce copy (private <-> shared)."""
         self._ledger.charge(Category.COPY, self._costs.copy_bytes(length))
+
+    # -- batched mappings (one pass over the pool per batch) ---------------
+
+    def map_many(self, lengths) -> list[int]:
+        """Allocate bounce regions for a whole batch; returns their GPAs.
+
+        All-or-nothing: if the pool runs out (or fragments) partway
+        through, every mapping already made for this batch is released
+        before the :class:`~repro.errors.MemoryError_` propagates, so a
+        failed batch never leaks slots.
+        """
+        gpas: list[int] = []
+        try:
+            for length in lengths:
+                gpas.append(self.map_single(length))
+        except MemoryError_:
+            for gpa in gpas:
+                self.unmap_single(gpa)
+            raise
+        return gpas
+
+    def unmap_many(self, gpas) -> None:
+        """Release a batch of mappings back to the pool."""
+        for gpa in gpas:
+            self.unmap_single(gpa)
+
+    def bounce_many(self, lengths) -> None:
+        """Charge one direction of the bounce copies for a whole batch.
+
+        One ledger charge for the summed per-buffer copy costs --
+        bit-identical to charging each buffer separately, so batched and
+        naive drivers account the same bytes at the same price.
+        """
+        self._ledger.charge(
+            Category.COPY,
+            sum(self._costs.copy_bytes(length) for length in lengths),
+        )

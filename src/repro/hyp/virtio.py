@@ -12,6 +12,16 @@ Payloads are either real ``bytes`` (tests, small I/O such as Redis
 protocol frames) or a plain ``int`` byte-length (the accounting-only fast
 path used by the large IOZone sweeps): both take the same control path
 and charge the same cycles; only the Python-level byte shuffling differs.
+
+Batching model (docs/DATA_PLANE.md): one ``QUEUE_NOTIFY`` kick drains the
+*whole* available ring, used entries are posted as a batch, and with
+``event_idx`` (the EVENT_IDX-style suppression flag, on by default) the
+device raises one completion interrupt per drain instead of one per
+descriptor.  Error containment: a guest-posted descriptor the device
+cannot serve is *completed* with a non-OK :attr:`Descriptor.status` --
+guest-controlled garbage never unwinds an exception through the device
+model into the host loop (only architectural DMA faults, ``TrapRaised``,
+propagate: they model the IOPMP stopping a DMA attack).
 """
 
 from __future__ import annotations
@@ -20,14 +30,21 @@ import dataclasses
 from collections import deque
 
 from repro.cycles import Category
+from repro.errors import VirtioDmaError, VirtioIoError, VirtqueueOverflow
 from repro.hyp.devices import MmioDevice
+
+#: virtio-blk-style request status byte (VIRTIO_BLK_S_*): OK, device-side
+#: I/O error, request the device does not support / cannot parse.
+STATUS_OK = 0
+STATUS_IOERR = 1
+STATUS_UNSUPP = 2
 
 
 def payload_len(payload) -> int:
     """Byte length of a real or symbolic payload."""
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
-    if isinstance(payload, int) and payload >= 0:
+    if isinstance(payload, int) and not isinstance(payload, bool) and payload >= 0:
         return payload
     raise TypeError(f"payload must be bytes or a non-negative length: {payload!r}")
 
@@ -44,6 +61,10 @@ class Descriptor:
     payload: object = None
     #: Opaque request header the driver attaches (request type, sector...).
     header: dict | None = None
+    #: Completion status written by the device (STATUS_*); the driver must
+    #: check it -- a refused request is *completed* with a non-OK status,
+    #: never turned into a device-side exception.
+    status: int = STATUS_OK
 
 
 class Virtqueue:
@@ -63,7 +84,9 @@ class Virtqueue:
     def post(self, descriptor: Descriptor) -> None:
         """Driver side: make a descriptor available to the device."""
         if len(self.available) >= self.size:
-            raise RuntimeError("virtqueue overflow")
+            raise VirtqueueOverflow(
+                f"virtqueue overflow: ring of {self.size} is full"
+            )
         self.available.append(descriptor)
 
     def pop_used(self) -> Descriptor | None:
@@ -81,7 +104,8 @@ class VirtioDevice(MmioDevice):
     INTERRUPT_ACK = 0x64
     STATUS = 0x70
 
-    def __init__(self, name: str, mmio_base: int, source_id: int, bus, ledger, costs):
+    def __init__(self, name: str, mmio_base: int, source_id: int, bus, ledger,
+                 costs, event_idx: bool = True):
         super().__init__(name, mmio_base)
         self.source_id = source_id
         self.bus = bus
@@ -94,6 +118,20 @@ class VirtioDevice(MmioDevice):
         self.irq_sink = None
         self.interrupt_status = 0
         self.status = 0
+        #: EVENT_IDX-style interrupt suppression: one ``irq_sink`` call per
+        #: drain instead of one per completed descriptor.  Off = the naive
+        #: pre-batching behaviour (the ablation baseline).
+        self.event_idx = event_idx
+        #: QUEUE_NOTIFY doorbell writes (each one is a full MMIO exit).
+        self.kicks = 0
+        #: Non-empty drains (batches of completions posted together).
+        self.drains = 0
+        #: Descriptors completed (whatever their status).
+        self.completions = 0
+        #: ``irq_sink`` invocations (the interrupt-suppression statistic).
+        self.irqs_raised = 0
+        #: Requests completed with a non-OK status byte.
+        self.io_errors = 0
 
     def attach_queue(self, index: int, queue: Virtqueue) -> None:
         """Bind a virtqueue to a queue index."""
@@ -110,6 +148,7 @@ class VirtioDevice(MmioDevice):
     def mmio_store(self, offset: int, value: int, size: int) -> None:
         """virtio-MMIO register write; QUEUE_NOTIFY triggers processing."""
         if offset == self.QUEUE_NOTIFY:
+            self.kicks += 1
             self.process_queue(value)
         elif offset == self.INTERRUPT_ACK:
             self.interrupt_status &= ~value
@@ -120,7 +159,7 @@ class VirtioDevice(MmioDevice):
 
     def _hpa(self, gpa: int) -> int:
         if self.dma_translate is None:
-            raise RuntimeError(f"{self.name}: no DMA translation installed")
+            raise VirtioDmaError(f"{self.name}: no DMA translation installed")
         return self.dma_translate(gpa)
 
     def dma_read(self, gpa: int, payload) -> object:
@@ -154,15 +193,60 @@ class VirtioDevice(MmioDevice):
             self.bus.dma_check_range(self.source_id, hpa, max(length, 1), AccessType.STORE)
         self.ledger.charge(Category.COPY, self.costs.copy_bytes(length))
 
-    def _complete(self, queue: Virtqueue, descriptor: Descriptor) -> None:
-        queue.used.append(descriptor)
+    # -- completion ------------------------------------------------------
+
+    def _complete_batch(self, queue: Virtqueue, descriptors) -> None:
+        """Post a drain's completions to the used ring in one batch.
+
+        With ``event_idx`` the whole batch raises one interrupt (the
+        guest's handler walks the used ring anyway); without it, the
+        naive one-interrupt-per-descriptor behaviour is preserved for the
+        ablation baseline.  The PLIC latches pending per source, so the
+        two arms differ in ``irq_sink`` traffic and statistics, not in
+        what the guest eventually observes.
+        """
+        if not descriptors:
+            return
+        queue.used.extend(descriptors)
+        self.drains += 1
+        self.completions += len(descriptors)
         self.interrupt_status |= 1
-        if self.irq_sink is not None:
+        if self.irq_sink is None:
+            return
+        pulses = 1 if self.event_idx else len(descriptors)
+        for _ in range(pulses):
+            self.irqs_raised += 1
             self.irq_sink(self)
+
+    def _complete(self, queue: Virtqueue, descriptor: Descriptor) -> None:
+        """Single-descriptor completion (a batch of one)."""
+        self._complete_batch(queue, (descriptor,))
 
     def process_queue(self, index: int) -> None:
         """Service the available ring of queue ``index``; device-specific."""
         raise NotImplementedError
+
+
+def _validated_request(descriptor: Descriptor) -> dict:
+    """Sanity-check the guest-controlled descriptor fields.
+
+    Everything in a descriptor is guest-posted and therefore untrusted:
+    a malformed length, header or payload must become a typed
+    :class:`VirtioIoError` (caught and turned into an error completion),
+    never a ``TypeError`` unwinding through the host loop.
+    """
+    if not isinstance(descriptor.length, int) or isinstance(descriptor.length, bool) \
+            or descriptor.length < 0:
+        raise VirtioIoError(
+            f"descriptor length {descriptor.length!r} is not a byte count",
+            status=STATUS_UNSUPP,
+        )
+    header = descriptor.header or {}
+    if not isinstance(header, dict):
+        raise VirtioIoError(
+            f"descriptor header {header!r} is not a mapping", status=STATUS_UNSUPP
+        )
+    return header
 
 
 class VirtioBlockDevice(VirtioDevice):
@@ -174,33 +258,62 @@ class VirtioBlockDevice(VirtioDevice):
 
     SECTOR = 512
 
-    def __init__(self, mmio_base: int, source_id: int, bus, ledger, costs, capacity_sectors: int = 1 << 21):
-        super().__init__("virtio-blk", mmio_base, source_id, bus, ledger, costs)
+    def __init__(self, mmio_base: int, source_id: int, bus, ledger, costs,
+                 capacity_sectors: int = 1 << 21, event_idx: bool = True):
+        super().__init__("virtio-blk", mmio_base, source_id, bus, ledger, costs,
+                         event_idx=event_idx)
         self.capacity_sectors = capacity_sectors
         self._disk: dict[int, object] = {}
         self.reads = 0
         self.writes = 0
 
     def process_queue(self, index: int) -> None:
-        """Serve block reads/writes: DMA each buffer, post completions."""
+        """Drain the available ring; batch-post completions.
+
+        A request the device refuses (beyond-capacity sector, malformed
+        guest fields, a read spanning mixed real/symbolic regions) is
+        completed with a non-OK status -- the queue stays consistent and
+        the drain continues.  Only architectural DMA faults
+        (:class:`~repro.errors.TrapRaised` from the IOPMP) propagate.
+        """
         queue = self.queues[index]
+        completed = []
         while queue.available:
             descriptor = queue.available.popleft()
             self.ledger.charge(Category.DEVICE, self.costs.virtio_request_fixed)
-            header = descriptor.header or {}
-            sector = header.get("sector", 0)
-            if sector * self.SECTOR + descriptor.length > self.capacity_sectors * self.SECTOR:
-                raise ValueError(f"I/O beyond disk capacity at sector {sector}")
-            if header.get("type") == "write":
+            try:
+                self._serve(descriptor)
+                descriptor.status = STATUS_OK
+            except VirtioIoError as refusal:
+                descriptor.status = refusal.status
+                self.io_errors += 1
+            completed.append(descriptor)
+        self._complete_batch(queue, completed)
+
+    def _serve(self, descriptor: Descriptor) -> None:
+        """Serve one request or raise :class:`VirtioIoError` to refuse it."""
+        header = _validated_request(descriptor)
+        sector = header.get("sector", 0)
+        if not isinstance(sector, int) or isinstance(sector, bool) or sector < 0:
+            raise VirtioIoError(
+                f"sector {sector!r} is not a sector number", status=STATUS_UNSUPP
+            )
+        if sector * self.SECTOR + descriptor.length > self.capacity_sectors * self.SECTOR:
+            raise VirtioIoError(
+                f"I/O beyond disk capacity at sector {sector}", status=STATUS_IOERR
+            )
+        if header.get("type") == "write":
+            try:
                 data = self.dma_read(descriptor.gpa, descriptor.payload)
-                self._store(sector, data, descriptor.length)
-                self.writes += 1
-            else:
-                data = self._fetch(sector, descriptor.length)
-                self.dma_write(descriptor.gpa, data)
-                descriptor.payload = data
-                self.reads += 1
-            self._complete(queue, descriptor)
+            except TypeError as bad_payload:
+                raise VirtioIoError(str(bad_payload), status=STATUS_UNSUPP) from None
+            self._store(sector, data, descriptor.length)
+            self.writes += 1
+        else:
+            data = self._fetch(sector, descriptor.length)
+            self.dma_write(descriptor.gpa, data)
+            descriptor.payload = data
+            self.reads += 1
 
     def _store(self, sector: int, data, length: int) -> None:
         if isinstance(data, (bytes, bytearray)):
@@ -211,16 +324,38 @@ class VirtioBlockDevice(VirtioDevice):
                 self._disk[sector + i // self.SECTOR] = min(self.SECTOR, length - i)
 
     def _fetch(self, sector: int, length: int):
-        first = self._disk.get(sector)
-        if isinstance(first, (bytes, bytearray)) or first is None:
-            out = bytearray()
-            for i in range(0, length, self.SECTOR):
-                chunk = self._disk.get(sector + i // self.SECTOR, b"\x00" * self.SECTOR)
-                if isinstance(chunk, int):
-                    chunk = b"\x00" * self.SECTOR
-                out += chunk[: min(self.SECTOR, length - i)]
-            return bytes(out)
-        return length  # symbolic region: return a symbolic payload
+        """Read ``length`` bytes at ``sector`` from the backing store.
+
+        The disk holds real ``bytes`` for real writes and plain ``int``
+        lengths for symbolic ones.  A read spanning *both* kinds cannot
+        be served faithfully -- the symbolic sectors have no bytes to
+        return -- so it is refused (:class:`VirtioIoError`, completed as
+        ``STATUS_IOERR``) instead of silently substituting zeros for the
+        symbolic part, which would be data corruption.  All-symbolic
+        regions (unwritten sectors included) stay on the accounting-only
+        path and return a symbolic payload; all-real regions return real
+        bytes with zeros for unwritten holes, as a disk does.
+        """
+        chunks = [
+            self._disk.get(sector + i // self.SECTOR)
+            for i in range(0, length, self.SECTOR)
+        ]
+        has_real = any(isinstance(c, (bytes, bytearray)) for c in chunks)
+        has_symbolic = any(isinstance(c, int) for c in chunks)
+        if has_real and has_symbolic:
+            raise VirtioIoError(
+                f"read of {length} bytes at sector {sector} spans mixed "
+                "real/symbolic disk regions",
+                status=STATUS_IOERR,
+            )
+        if has_symbolic:
+            return length  # symbolic region: return a symbolic payload
+        out = bytearray()
+        for i, chunk in zip(range(0, length, self.SECTOR), chunks):
+            if chunk is None:
+                chunk = b"\x00" * self.SECTOR
+            out += chunk[: min(self.SECTOR, length - i)]
+        return bytes(out)
 
 
 class VirtioRngDevice(VirtioDevice):
@@ -232,8 +367,10 @@ class VirtioRngDevice(VirtioDevice):
     :class:`repro.guest.virtio_driver.VirtioRngDriver`).
     """
 
-    def __init__(self, mmio_base: int, source_id: int, bus, ledger, costs, seed: bytes = b"host-rng"):
-        super().__init__("virtio-rng", mmio_base, source_id, bus, ledger, costs)
+    def __init__(self, mmio_base: int, source_id: int, bus, ledger, costs,
+                 seed: bytes = b"host-rng", event_idx: bool = True):
+        super().__init__("virtio-rng", mmio_base, source_id, bus, ledger, costs,
+                         event_idx=event_idx)
         self._state = seed
         self.bytes_served = 0
 
@@ -247,16 +384,24 @@ class VirtioRngDevice(VirtioDevice):
         return out[:count]
 
     def process_queue(self, index: int) -> None:
-        """Fill each posted buffer with host entropy and complete it."""
+        """Fill each posted buffer with host entropy; batch completions."""
         queue = self.queues[index]
+        completed = []
         while queue.available:
             descriptor = queue.available.popleft()
             self.ledger.charge(Category.DEVICE, self.costs.virtio_request_fixed)
-            data = self._entropy(descriptor.length)
-            self.dma_write(descriptor.gpa, data)
-            descriptor.payload = data
-            self.bytes_served += descriptor.length
-            self._complete(queue, descriptor)
+            try:
+                _validated_request(descriptor)
+                data = self._entropy(descriptor.length)
+                self.dma_write(descriptor.gpa, data)
+                descriptor.payload = data
+                self.bytes_served += descriptor.length
+                descriptor.status = STATUS_OK
+            except VirtioIoError as refusal:
+                descriptor.status = refusal.status
+                self.io_errors += 1
+            completed.append(descriptor)
+        self._complete_batch(queue, completed)
 
 
 class VirtioNetDevice(VirtioDevice):
@@ -270,12 +415,17 @@ class VirtioNetDevice(VirtioDevice):
     TX_QUEUE = 0
     RX_QUEUE = 1
 
-    def __init__(self, mmio_base: int, source_id: int, bus, ledger, costs):
-        super().__init__("virtio-net", mmio_base, source_id, bus, ledger, costs)
+    def __init__(self, mmio_base: int, source_id: int, bus, ledger, costs,
+                 event_idx: bool = True):
+        super().__init__("virtio-net", mmio_base, source_id, bus, ledger, costs,
+                         event_idx=event_idx)
         self.host_handler = None
         self._host_backlog: deque = deque()
         self.tx_frames = 0
         self.rx_frames = 0
+        #: Host-delivered frames dropped (oversized or malformed); the
+        #: posted RX buffer is returned to the ring, never lost.
+        self.rx_dropped = 0
 
     def process_queue(self, index: int) -> None:
         """TX: hand frames to the host handler; then flush RX backlog."""
@@ -285,15 +435,26 @@ class VirtioNetDevice(VirtioDevice):
 
     def _process_tx(self) -> None:
         queue = self.queues[self.TX_QUEUE]
+        completed = []
         while queue.available:
             descriptor = queue.available.popleft()
             self.ledger.charge(Category.DEVICE, self.costs.virtio_request_fixed)
-            frame = self.dma_read(descriptor.gpa, descriptor.payload)
-            self.tx_frames += 1
-            if self.host_handler is not None:
-                for reply in self.host_handler(frame, descriptor.header or {}):
-                    self._host_backlog.append(reply)
-            self._complete(queue, descriptor)
+            try:
+                _validated_request(descriptor)
+                try:
+                    frame = self.dma_read(descriptor.gpa, descriptor.payload)
+                except TypeError as bad_payload:
+                    raise VirtioIoError(str(bad_payload), status=STATUS_UNSUPP) from None
+                self.tx_frames += 1
+                if self.host_handler is not None:
+                    for reply in self.host_handler(frame, descriptor.header or {}):
+                        self._host_backlog.append(reply)
+                descriptor.status = STATUS_OK
+            except VirtioIoError as refusal:
+                descriptor.status = refusal.status
+                self.io_errors += 1
+            completed.append(descriptor)
+        self._complete_batch(queue, completed)
 
     def host_deliver(self, frame) -> None:
         """Host side queues a frame for the guest; delivered into RX buffers."""
@@ -301,20 +462,37 @@ class VirtioNetDevice(VirtioDevice):
         self._flush_rx()
 
     def _flush_rx(self) -> None:
+        """Deliver backlog frames into posted RX buffers; batch completions.
+
+        A frame that does not fit its buffer (or is not a payload at all)
+        is *dropped* -- real virtio-net semantics for an undersized RX
+        ring -- and the popped descriptor goes back to the front of the
+        available ring, so no guest buffer is ever lost and the rest of
+        the backlog still drains.
+        """
         queue = self.queues.get(self.RX_QUEUE)
         if queue is None:
             return
+        completed = []
         while self._host_backlog and queue.available:
-            descriptor = queue.available.popleft()
             frame = self._host_backlog.popleft()
-            length = payload_len(frame)
+            try:
+                length = payload_len(frame)
+            except TypeError:
+                self.rx_dropped += 1  # not a frame: drop, keep draining
+                continue
+            descriptor = queue.available.popleft()
             if length > descriptor.length:
-                raise ValueError("RX frame larger than posted buffer")
+                self.rx_dropped += 1
+                queue.available.appendleft(descriptor)  # buffer not consumed
+                continue
             self.ledger.charge(Category.DEVICE, self.costs.virtio_request_fixed)
             self.dma_write(descriptor.gpa, frame)
             descriptor.payload = frame
+            descriptor.status = STATUS_OK
             self.rx_frames += 1
-            self._complete(queue, descriptor)
+            completed.append(descriptor)
+        self._complete_batch(queue, completed)
 
     @property
     def backlog(self) -> int:

@@ -50,15 +50,21 @@ class ChannelEndpoint:
     """
 
     def __init__(self, ctx, channel_id: int, window_gpa: int, size: int,
-                 is_creator: bool):
+                 is_creator: bool, adaptive: bool = True):
         self.ctx = ctx
         self.channel_id = channel_id
         self.window_gpa = window_gpa
         self.window_size = size
         self.is_creator = is_creator
+        #: Adaptive doorbell coalescing (EVENT_IDX-style, the default):
+        #: ring the peer only when a send crosses its published wake
+        #: point, instead of on every send / near-full receive.  The
+        #: eager arm (``adaptive=False``) keeps the original policy for
+        #: the ablation in ``bench/ipc.py``.
+        self.adaptive = adaptive
         half = size // 2
-        lower = SpscRing(ctx, window_gpa, half)
-        upper = SpscRing(ctx, window_gpa + half, size - half)
+        lower = SpscRing(ctx, window_gpa, half, adaptive=adaptive)
+        upper = SpscRing(ctx, window_gpa + half, size - half, adaptive=adaptive)
         self.tx, self.rx = (lower, upper) if is_creator else (upper, lower)
         self.closed = False
         #: Set when the peer's shared state failed a sanity check; the
@@ -66,13 +72,17 @@ class ChannelEndpoint:
         self.corrupt = False
         #: Doorbells this endpoint has rung (ablation statistic).
         self.doorbells_rung = 0
+        #: notify=True operations that decided *not* to ring because the
+        #: peer's event word said it was not waiting (ablation statistic).
+        self.doorbells_suppressed = 0
 
     # -- construction ------------------------------------------------------
 
     @classmethod
     def create(cls, ctx, window_gpa: int, size: int,
                expected_peer_measurement: bytes,
-               scratch_gpa: int | None = None) -> "ChannelEndpoint":
+               scratch_gpa: int | None = None,
+               adaptive: bool = True) -> "ChannelEndpoint":
         """CHANNEL_CREATE: allocate the window and become the creator."""
         meas_gpa = cls._stage_measurement(
             ctx, expected_peer_measurement, scratch_gpa, window_gpa + size
@@ -83,12 +93,14 @@ class ChannelEndpoint:
         )
         if error != SbiError.SUCCESS:
             raise ChannelError("create", error)
-        return cls(ctx, channel_id, window_gpa, size, is_creator=True)
+        return cls(ctx, channel_id, window_gpa, size, is_creator=True,
+                   adaptive=adaptive)
 
     @classmethod
     def connect(cls, ctx, channel_id: int, window_gpa: int,
                 expected_creator_measurement: bytes,
-                scratch_gpa: int | None = None) -> "ChannelEndpoint":
+                scratch_gpa: int | None = None,
+                adaptive: bool = True) -> "ChannelEndpoint":
         """CHANNEL_CONNECT: join; the SM returns the window size."""
         meas_gpa = cls._stage_measurement(
             ctx, expected_creator_measurement, scratch_gpa, window_gpa - PAGE_SIZE
@@ -99,7 +111,8 @@ class ChannelEndpoint:
         )
         if error != SbiError.SUCCESS:
             raise ChannelError("connect", error)
-        return cls(ctx, channel_id, window_gpa, size, is_creator=False)
+        return cls(ctx, channel_id, window_gpa, size, is_creator=False,
+                   adaptive=adaptive)
 
     @staticmethod
     def _stage_measurement(ctx, measurement: bytes, scratch_gpa: int | None,
@@ -137,13 +150,39 @@ class ChannelEndpoint:
         if not sent:
             return False
         if notify:
-            self.ring_doorbell()
+            self._notify_data()
         return True
 
-    #: Credit-return doorbell watermark: after a recv, ring the peer only
-    #: if the ring was this full (the producer may be throttled).  A ring
-    #: with plenty of credits left needs no wakeup -- saving the notify
-    #: ECALL on every uncontended receive is most of the fast path.
+    def _notify_data(self) -> None:
+        """Ring the new-data doorbell, or suppress it (adaptive mode).
+
+        Adaptive: the ring accumulated a hint iff a send crossed the
+        consumer's published wake point -- a consumer that is busy
+        draining (its event word is stale) costs no notify ECALL.  A
+        consumer about to park always republishes the event on its empty
+        poll first, so suppression never loses a wakeup.
+        """
+        if not self.adaptive:
+            self.ring_doorbell()
+        elif self.tx.take_data_hint():
+            self.ring_doorbell()
+        else:
+            self.doorbells_suppressed += 1
+
+    def _notify_credits(self) -> None:
+        """Ring the credit-return doorbell, or suppress it (adaptive)."""
+        if self.rx.take_credit_hint():
+            self.ring_doorbell()
+        else:
+            self.doorbells_suppressed += 1
+
+    #: Credit-return doorbell watermark (the *eager* arm only): after a
+    #: recv, ring the peer only if the ring was this full (the producer
+    #: may be throttled).  A ring with plenty of credits left needs no
+    #: wakeup -- saving the notify ECALL on every uncontended receive is
+    #: most of the fast path.  Adaptive mode replaces this heuristic with
+    #: the producer's exact published wake point (see
+    #: :meth:`_notify_credits`), which rings strictly when needed.
     CREDIT_WATERMARK = 4
 
     def recv(self, notify: bool = True) -> bytes | None:
@@ -156,15 +195,25 @@ class ChannelEndpoint:
         """
         self._require_open()
         try:
-            throttled = (
-                self.rx.credits() < self.rx.capacity // self.CREDIT_WATERMARK
-            )
-            payload = self.rx.try_recv()
+            if self.adaptive:
+                # The producer publishes its wake point on a refused
+                # send; the ring flags a hint only when this receive
+                # crosses it -- no advisory credit sampling needed.
+                throttled = False
+                payload = self.rx.try_recv()
+            else:
+                throttled = (
+                    self.rx.credits() < self.rx.capacity // self.CREDIT_WATERMARK
+                )
+                payload = self.rx.try_recv()
         except ChannelCorrupt:
             self.corrupt = True
             raise
-        if payload is not None and notify and throttled:
-            self.ring_doorbell()
+        if payload is not None and notify:
+            if self.adaptive:
+                self._notify_credits()
+            elif throttled:
+                self.ring_doorbell()
         return payload
 
     def send_many(self, payloads, notify: bool = True) -> int:
@@ -191,7 +240,7 @@ class ChannelEndpoint:
                 raise
             sent += 1
         if sent and notify:
-            self.ring_doorbell()
+            self._notify_data()
         return sent
 
     def recv_many(self, limit: int | None = None, notify: bool = True) -> list:
@@ -209,7 +258,8 @@ class ChannelEndpoint:
         out: list = []
         try:
             throttled = (
-                self.rx.credits() < self.rx.capacity // self.CREDIT_WATERMARK
+                not self.adaptive
+                and self.rx.credits() < self.rx.capacity // self.CREDIT_WATERMARK
             )
             while limit is None or len(out) < limit:
                 payload = self.rx.try_recv()
@@ -219,8 +269,11 @@ class ChannelEndpoint:
         except ChannelCorrupt:
             self.corrupt = True
             raise
-        if out and notify and throttled:
-            self.ring_doorbell()
+        if out and notify:
+            if self.adaptive:
+                self._notify_credits()
+            elif throttled:
+                self.ring_doorbell()
         return out
 
     def credits(self) -> int:

@@ -28,6 +28,16 @@ HEADER_SIZE = 64
 
 _PROD_OFFSET = 0
 _CONS_OFFSET = 8
+#: EVENT_IDX-style doorbell-suppression words (adaptive mode only).
+#: ``data_event`` is written by the *consumer* ("ring me when ``prod``
+#: passes this") and read by the producer; ``credit_event`` is written by
+#: the *producer* ("ring me when ``cons`` reaches this") and read by the
+#: consumer.  Both are advisory and untrusted: they steer only whether a
+#: doorbell is rung, never a copy, so a lying peer can at worst suppress
+#: its *own* wakeups (self-harm) or draw spurious doorbells bounded by
+#: the honest side's own send/recv rate.
+_DATA_EVENT_OFFSET = 16
+_CREDIT_EVENT_OFFSET = 24
 
 #: Bytes of length prefix before each message payload.
 LENGTH_PREFIX = 8
@@ -46,13 +56,23 @@ class SpscRing:
     :class:`ChannelCorrupt`, never as an out-of-bounds access.
     """
 
-    def __init__(self, ctx, base_gpa: int, size: int):
+    def __init__(self, ctx, base_gpa: int, size: int, adaptive: bool = False):
         if size <= HEADER_SIZE:
             raise ValueError("ring region too small for its header")
         self.ctx = ctx
         self.base = base_gpa
         self.data_base = base_gpa + HEADER_SIZE
         self.capacity = size - HEADER_SIZE
+        #: Adaptive doorbell coalescing (EVENT_IDX-style): each side
+        #: publishes the counter value it wants to be woken at, and the
+        #: other side rings only when an operation crosses that event.
+        #: Off by default at ring level; the endpoint turns it on.
+        self.adaptive = adaptive
+        #: Pending "the peer asked to be notified" hints, accumulated by
+        #: the data path and consumed by the endpoint's doorbell policy
+        #: (guest-local state, nothing the peer can touch).
+        self._data_hint = False
+        self._credit_hint = False
         #: Messages this side sent / received (statistics, guest-local).
         self.sent = 0
         self.received = 0
@@ -121,12 +141,27 @@ class SpscRing:
         prod = self.prod
         used = self._checked_used(prod, self.cons)
         if need > self.capacity - used:
+            if self.adaptive:
+                # Publish the cons value that frees enough credits, so
+                # the consumer knows when a credit-return doorbell is
+                # actually needed (it rings only when it crosses this).
+                self.ctx.store(
+                    self.base + _CREDIT_EVENT_OFFSET, prod + need - self.capacity
+                )
             return False  # out of credits: back-pressure the producer
         frame = len(payload).to_bytes(LENGTH_PREFIX, "little") + payload
         self._write_wrapped(prod, frame)
         # Publish after the payload is in place (store-release ordering).
         self.ctx.store(self.base + _PROD_OFFSET, prod + len(frame))
         self.sent += 1
+        if self.adaptive:
+            # vring_need_event: notify only if this send crossed the
+            # consumer's published wake point.  The event word is
+            # peer-written and advisory -- it steers a doorbell, never a
+            # copy, so no clamping is required (see the offset comment).
+            event = self.ctx.load(self.base + _DATA_EVENT_OFFSET)
+            if prod <= event < prod + len(frame):
+                self._data_hint = True
         return True
 
     # -- consumer ----------------------------------------------------------
@@ -140,8 +175,15 @@ class SpscRing:
         it is clamped against the published byte count before any copy.
         """
         cons = self.cons
-        used = self._checked_used(self.prod, cons)
+        prod = self.prod
+        used = self._checked_used(prod, cons)
         if used < LENGTH_PREFIX:
+            if self.adaptive:
+                # Empty poll: publish "wake me when prod passes here".
+                # Every consumer in this tree polls empty before parking
+                # on WAIT_DOORBELL, so the event is always fresh by the
+                # time the side actually sleeps.
+                self.ctx.store(self.base + _DATA_EVENT_OFFSET, prod)
             return None
         header = self._read_wrapped(cons, LENGTH_PREFIX)
         length = int.from_bytes(header, "little")
@@ -152,9 +194,28 @@ class SpscRing:
             )
         payload = self._read_wrapped(cons + LENGTH_PREFIX, length)
         # Release the credits only after the payload has been copied out.
-        self.ctx.store(self.base + _CONS_OFFSET, cons + LENGTH_PREFIX + length)
+        new_cons = cons + LENGTH_PREFIX + length
+        self.ctx.store(self.base + _CONS_OFFSET, new_cons)
         self.received += 1
+        if self.adaptive:
+            # Credit-return doorbell only when this receive crossed the
+            # producer's published wake point (set on a refused send).
+            event = self.ctx.load(self.base + _CREDIT_EVENT_OFFSET)
+            if cons < event <= new_cons:
+                self._credit_hint = True
         return payload
+
+    # -- doorbell hints (adaptive mode) ------------------------------------
+
+    def take_data_hint(self) -> bool:
+        """Consume the pending new-data notify hint (producer side)."""
+        hint, self._data_hint = self._data_hint, False
+        return hint
+
+    def take_credit_hint(self) -> bool:
+        """Consume the pending credit-return notify hint (consumer side)."""
+        hint, self._credit_hint = self._credit_hint, False
+        return hint
 
     # -- wrap-aware data movement -----------------------------------------
 

@@ -262,20 +262,24 @@ class Machine:
     # Virtio device wiring
     # ------------------------------------------------------------------
 
-    def attach_virtio_block(self, session: GuestSession, mmio_base: int = 0x1000_1000, source_id: int = 1):
+    def attach_virtio_block(self, session: GuestSession, mmio_base: int = 0x1000_1000, source_id: int = 1,
+                            event_idx: bool = True):
         """Create a virtio-blk device for the session and wire its DMA path."""
         from repro.hyp.virtio import VirtioBlockDevice
 
-        device = VirtioBlockDevice(mmio_base, source_id, self.bus, self.ledger, self.costs)
+        device = VirtioBlockDevice(mmio_base, source_id, self.bus, self.ledger, self.costs,
+                                   event_idx=event_idx)
         self._wire_device(session, device)
         session.virtio_blk = device
         return device
 
-    def attach_virtio_net(self, session: GuestSession, mmio_base: int = 0x1000_2000, source_id: int = 2):
+    def attach_virtio_net(self, session: GuestSession, mmio_base: int = 0x1000_2000, source_id: int = 2,
+                          event_idx: bool = True):
         """Create a virtio-net device for the session and wire its DMA path."""
         from repro.hyp.virtio import VirtioNetDevice
 
-        device = VirtioNetDevice(mmio_base, source_id, self.bus, self.ledger, self.costs)
+        device = VirtioNetDevice(mmio_base, source_id, self.bus, self.ledger, self.costs,
+                                 event_idx=event_idx)
         self._wire_device(session, device)
         session.virtio_net = device
         return device

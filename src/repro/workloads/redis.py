@@ -468,12 +468,9 @@ def redis_server_workload(client: RedisBenchmarkClient, spec: OpSpec):
         idle_polls = 0
         while served < client.requests:
             # Drain everything the device delivered (a pipelined client's
-            # whole batch arrives as one segment).
-            frames = []
-            frame = driver.recv()
-            while frame is not None:
-                frames.append(frame)
-                frame = driver.recv()
+            # whole batch arrives as one segment): one batched pass over
+            # the used ring, one bounce charge, one RX buffer re-post.
+            frames = driver.recv_many()
             if not frames:
                 if not ctx.wfi():
                     idle_polls += 1

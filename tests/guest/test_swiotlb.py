@@ -79,3 +79,35 @@ def test_reuse_after_unmap(swiotlb):
 def test_bounce_charges_copy(swiotlb, ledger):
     swiotlb.bounce(10_000)
     assert ledger.by_category()[Category.COPY] == DEFAULT_COSTS.copy_bytes(10_000)
+
+
+class TestBatchedMappings:
+    def test_map_many_allocates_all(self, swiotlb):
+        gpas = swiotlb.map_many([4096, 2048, 6000])
+        assert len(gpas) == len(set(gpas)) == 3
+        assert swiotlb.free_slots == 32 - (2 + 1 + 3)
+        swiotlb.unmap_many(gpas)
+        assert swiotlb.free_slots == 32
+
+    def test_map_many_rolls_back_on_exhaustion(self, swiotlb):
+        # 3 x 20KB = 30 slots fit; the 4th mapping cannot.
+        with pytest.raises(MemoryError_):
+            swiotlb.map_many([20 * 1024] * 4)
+        # All-or-nothing: the three successful mappings were released.
+        assert swiotlb.free_slots == 32
+        assert swiotlb.map_many([20 * 1024] * 3)  # pool still healthy
+
+    def test_map_many_rolls_back_on_oversized_member(self, swiotlb):
+        with pytest.raises(MemoryError_):
+            swiotlb.map_many([4096, MAX_MAPPING + 1])
+        assert swiotlb.free_slots == 32
+
+    def test_bounce_many_charges_sum_of_singles(self, ledger, swiotlb):
+        lengths = [4096, 2048, 100]
+        swiotlb.bounce_many(lengths)
+        batched = ledger.by_category()[Category.COPY]
+        reference = CycleLedger()
+        single = Swiotlb(BASE, 64 * 1024, reference, DEFAULT_COSTS)
+        for length in lengths:
+            single.bounce(length)
+        assert batched == reference.by_category()[Category.COPY]

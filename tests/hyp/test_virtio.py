@@ -3,8 +3,10 @@
 import pytest
 
 from repro.cycles import Category, CycleLedger, DEFAULT_COSTS
-from repro.errors import TrapRaised
+from repro.errors import ReproError, TrapRaised, VirtqueueOverflow
 from repro.hyp.virtio import (
+    STATUS_IOERR,
+    STATUS_OK,
     Descriptor,
     VirtioBlockDevice,
     VirtioNetDevice,
@@ -50,8 +52,10 @@ class TestVirtqueue:
         q = Virtqueue(ring_gpa=BUF, size=2)
         q.post(Descriptor(gpa=BUF, length=8))
         q.post(Descriptor(gpa=BUF, length=8))
-        with pytest.raises(RuntimeError):
+        with pytest.raises(VirtqueueOverflow):
             q.post(Descriptor(gpa=BUF, length=8))
+        # Typed per PR-3 discipline: callers can catch the repo's base class.
+        assert issubclass(VirtqueueOverflow, ReproError)
 
     def test_pop_used_empty(self):
         assert Virtqueue(ring_gpa=BUF).pop_used() is None
@@ -103,11 +107,22 @@ class TestVirtioBlock:
         assert queue.pop_used().payload == bytes(512)
 
     def test_beyond_capacity_rejected(self, blk):
+        """A beyond-capacity request error-completes; the queue stays usable."""
         device, queue, _, _ = blk
         queue.post(Descriptor(gpa=BUF, length=512,  payload=512,
                               header={"type": "write", "sector": device.capacity_sectors}))
-        with pytest.raises(ValueError):
-            device.process_queue(0)
+        device.process_queue(0)  # must not raise through the host loop
+        done = queue.pop_used()
+        assert done is not None and done.status == STATUS_IOERR
+        assert device.io_errors == 1
+        assert device.writes == 0  # nothing landed on the disk
+        # The queue is still consistent: the next request serves normally.
+        queue.post(Descriptor(gpa=BUF, length=512, payload=512,
+                              header={"type": "write", "sector": 0}))
+        device.process_queue(0)
+        done = queue.pop_used()
+        assert done is not None and done.status == STATUS_OK
+        assert device.writes == 1
 
     def test_completion_raises_interrupt(self, blk):
         device, queue, _, _ = blk
@@ -184,10 +199,17 @@ class TestVirtioNet:
         assert rx.pop_used().payload == b"queued"
 
     def test_oversized_rx_frame_rejected(self, net):
+        """An oversized frame is dropped; the RX buffer survives for the next."""
         device, tx, rx, _ = net
         rx.post(Descriptor(gpa=BUF + 0x3000, length=16, device_writes=True))
-        with pytest.raises(ValueError):
-            device.host_deliver(b"x" * 64)
+        device.host_deliver(b"x" * 64)  # must not raise mid-drain
+        assert device.rx_dropped == 1
+        assert device.rx_frames == 0
+        assert len(rx.available) == 1  # the posted buffer was not lost
+        device.host_deliver(b"y" * 16)  # backlog keeps draining afterwards
+        assert device.rx_frames == 1
+        done = rx.pop_used()
+        assert done is not None and done.payload == b"y" * 16
 
     def test_doorbell_mmio_triggers_processing(self, net):
         device, tx, rx, _ = net

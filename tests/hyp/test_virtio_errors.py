@@ -1,0 +1,244 @@
+"""Crash-proof device error paths (PR 8 regression pins).
+
+Every descriptor field is guest-posted and every RX frame is
+host-delivered -- both are untrusted inputs to the device models.  The
+invariant pinned here: **no such input can raise an untyped exception
+through a device model**.  Refused requests complete with a virtio
+status byte, undeliverable frames are dropped with the buffer re-posted,
+and host-configuration problems surface as typed ``VirtioError``
+subclasses.  Only architectural DMA faults (``TrapRaised`` from the
+IOPMP) may propagate -- they model the hardware stopping a DMA attack.
+"""
+
+import pytest
+
+from repro.cycles import CycleLedger, DEFAULT_COSTS
+from repro.errors import ReproError, VirtioDmaError, VirtioError, VirtqueueOverflow
+from repro.hyp.virtio import (
+    STATUS_IOERR,
+    STATUS_OK,
+    STATUS_UNSUPP,
+    Descriptor,
+    VirtioBlockDevice,
+    VirtioNetDevice,
+    VirtioRngDevice,
+    Virtqueue,
+)
+from repro.isa.iopmp import IopmpEntry, IopmpUnit
+from repro.mem.physmem import MemoryBus, PhysicalMemory
+
+BASE = 0x8000_0000
+BUF = BASE + 0x10000
+
+
+@pytest.fixture
+def env():
+    dram = PhysicalMemory(BASE, 4 << 20)
+    iopmp = IopmpUnit()
+    iopmp.add_entry(IopmpEntry(base=BASE, size=4 << 20, readable=True, writable=True))
+    bus = MemoryBus(dram, iopmp)
+    return dram, bus, CycleLedger()
+
+
+def _blk(env, **kwargs):
+    _dram, bus, ledger = env
+    device = VirtioBlockDevice(0x1000_1000, 1, bus, ledger, DEFAULT_COSTS, **kwargs)
+    device.dma_translate = lambda gpa: gpa
+    queue = Virtqueue(ring_gpa=BUF)
+    device.attach_queue(0, queue)
+    return device, queue
+
+
+def _net(env, **kwargs):
+    _dram, bus, ledger = env
+    device = VirtioNetDevice(0x1000_2000, 2, bus, ledger, DEFAULT_COSTS, **kwargs)
+    device.dma_translate = lambda gpa: gpa
+    tx, rx = Virtqueue(ring_gpa=BUF), Virtqueue(ring_gpa=BUF + 0x1000)
+    device.attach_queue(device.TX_QUEUE, tx)
+    device.attach_queue(device.RX_QUEUE, rx)
+    return device, tx, rx
+
+
+class TestBlockErrorCompletion:
+    """Satellite 1: beyond-capacity requests complete, never raise."""
+
+    def test_write_beyond_capacity_error_completes(self, env):
+        device, queue = _blk(env)
+        queue.post(Descriptor(gpa=BUF, length=4096, payload=4096,
+                              header={"type": "write",
+                                      "sector": device.capacity_sectors - 1}))
+        device.process_queue(0)
+        done = queue.pop_used()
+        assert done.status == STATUS_IOERR
+        assert device.io_errors == 1 and device.writes == 0
+
+    def test_read_beyond_capacity_error_completes(self, env):
+        device, queue = _blk(env)
+        queue.post(Descriptor(gpa=BUF, length=512, device_writes=True,
+                              header={"type": "read",
+                                      "sector": device.capacity_sectors + 7}))
+        device.process_queue(0)
+        done = queue.pop_used()
+        assert done.status == STATUS_IOERR
+        assert device.reads == 0
+
+    def test_bad_request_mid_batch_keeps_queue_consistent(self, env):
+        """One refused descriptor must not strand the rest of the drain."""
+        device, queue = _blk(env)
+        queue.post(Descriptor(gpa=BUF, length=512, payload=512,
+                              header={"type": "write", "sector": 0}))
+        queue.post(Descriptor(gpa=BUF, length=512, payload=512,
+                              header={"type": "write",
+                                      "sector": device.capacity_sectors}))
+        queue.post(Descriptor(gpa=BUF, length=512, payload=512,
+                              header={"type": "write", "sector": 8}))
+        device.process_queue(0)
+        statuses = [queue.pop_used().status for _ in range(3)]
+        assert statuses == [STATUS_OK, STATUS_IOERR, STATUS_OK]
+        assert queue.pop_used() is None  # used ring fully drained
+        assert not queue.available  # nothing stranded
+        assert device.writes == 2 and device.io_errors == 1
+
+
+class TestRxFrameDrop:
+    """Satellite 2: oversized/malformed RX frames drop without ring loss."""
+
+    def test_oversized_frame_mid_backlog(self, env):
+        device, _tx, rx = _net(env)
+        for i in range(3):
+            rx.post(Descriptor(gpa=BUF + 0x3000 + i * 0x800, length=64,
+                               device_writes=True))
+        device._host_backlog.extend([b"a" * 16, b"x" * 256, b"c" * 16])
+        device._flush_rx()
+        # The middle frame dropped; the other two delivered in order.
+        assert device.rx_dropped == 1 and device.rx_frames == 2
+        assert rx.pop_used().payload == b"a" * 16
+        assert rx.pop_used().payload == b"c" * 16
+        # Three buffers posted, two consumed: one survives for later frames.
+        assert len(rx.available) == 1
+
+    def test_non_payload_frame_dropped(self, env):
+        device, _tx, rx = _net(env)
+        rx.post(Descriptor(gpa=BUF + 0x3000, length=64, device_writes=True))
+        device.host_deliver("not-a-frame")  # payload_len raises TypeError
+        assert device.rx_dropped == 1
+        assert len(rx.available) == 1  # buffer untouched
+        device.host_deliver(b"ok")
+        assert device.rx_frames == 1
+
+
+class TestTypedTransportErrors:
+    """Satellite 3: overflow and missing-DMA are typed, not bare RuntimeError."""
+
+    def test_virtqueue_overflow_typed(self):
+        queue = Virtqueue(ring_gpa=BUF, size=1)
+        queue.post(Descriptor(gpa=BUF, length=8))
+        with pytest.raises(VirtqueueOverflow) as excinfo:
+            queue.post(Descriptor(gpa=BUF, length=8))
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value, VirtioError)
+
+    def test_missing_dma_translation_typed(self, env):
+        _dram, bus, ledger = env
+        device = VirtioBlockDevice(0x1000_1000, 1, bus, ledger, DEFAULT_COSTS)
+        queue = Virtqueue(ring_gpa=BUF)
+        device.attach_queue(0, queue)  # dma_translate never installed
+        queue.post(Descriptor(gpa=BUF, length=512, payload=512,
+                              header={"type": "write", "sector": 0}))
+        with pytest.raises(VirtioDmaError) as excinfo:
+            device.process_queue(0)
+        assert isinstance(excinfo.value, ReproError)
+
+
+class TestMixedRegionRead:
+    """Satellite 4: mixed real/symbolic disk reads refuse explicitly."""
+
+    def test_mixed_read_error_completes(self, env):
+        device, queue = _blk(env)
+        queue.post(Descriptor(gpa=BUF, length=512, payload=b"r" * 512,
+                              header={"type": "write", "sector": 0}))
+        queue.post(Descriptor(gpa=BUF, length=512, payload=512,
+                              header={"type": "write", "sector": 1}))
+        device.process_queue(0)
+        queue.pop_used(), queue.pop_used()
+        # A read spanning the real sector 0 and the symbolic sector 1.
+        queue.post(Descriptor(gpa=BUF, length=1024, device_writes=True,
+                              header={"type": "read", "sector": 0}))
+        device.process_queue(0)
+        done = queue.pop_used()
+        assert done.status == STATUS_IOERR  # refused, not zero-substituted
+        assert device.io_errors == 1
+
+    def test_all_real_and_all_symbolic_still_serve(self, env):
+        device, queue = _blk(env)
+        queue.post(Descriptor(gpa=BUF, length=512, payload=b"r" * 512,
+                              header={"type": "write", "sector": 0}))
+        queue.post(Descriptor(gpa=BUF, length=512, payload=512,
+                              header={"type": "write", "sector": 4}))
+        device.process_queue(0)
+        queue.pop_used(), queue.pop_used()
+        queue.post(Descriptor(gpa=BUF, length=512, device_writes=True,
+                              header={"type": "read", "sector": 0}))
+        queue.post(Descriptor(gpa=BUF, length=512, device_writes=True,
+                              header={"type": "read", "sector": 4}))
+        device.process_queue(0)
+        real = queue.pop_used()
+        symbolic = queue.pop_used()
+        assert real.status == STATUS_OK and real.payload == b"r" * 512
+        assert symbolic.status == STATUS_OK and symbolic.payload == 512
+
+
+#: Guest-controlled garbage: every field an adversarial driver can set.
+_NASTY_DESCRIPTORS = [
+    dict(length="sixty-four", payload=64),
+    dict(length=-1, payload=64),
+    dict(length=True, payload=64),
+    dict(length=None, payload=64),
+    dict(length=512, payload=512, header="not-a-dict"),
+    dict(length=512, payload=512, header={"type": "write", "sector": "zero"}),
+    dict(length=512, payload=512, header={"type": "write", "sector": -9}),
+    dict(length=512, payload=512, header={"type": "write", "sector": True}),
+    dict(length=512, payload="text", header={"type": "write", "sector": 0}),
+    dict(length=512, payload=None, header={"type": "write", "sector": 0}),
+    dict(length=512, payload=-5, header={"type": "write", "sector": 0}),
+]
+
+
+class TestNoUntypedExceptions:
+    """The pin: guest-posted garbage never unwinds through a device model."""
+
+    @pytest.mark.parametrize("fields", _NASTY_DESCRIPTORS)
+    def test_blk_survives(self, env, fields):
+        device, queue = _blk(env)
+        queue.post(Descriptor(gpa=BUF, **fields))
+        device.process_queue(0)  # raises nothing
+        done = queue.pop_used()
+        assert done.status in (STATUS_IOERR, STATUS_UNSUPP)
+        assert device.io_errors == 1
+
+    # Only transport-level garbage applies to net TX: the net device does
+    # not interpret block headers, so a bogus "sector" is legitimately OK.
+    @pytest.mark.parametrize("fields", _NASTY_DESCRIPTORS[:5])
+    def test_net_tx_survives(self, env, fields):
+        device, tx, _rx = _net(env)
+        fields = dict(fields)
+        fields.setdefault("header", {})
+        tx.post(Descriptor(gpa=BUF, **fields))
+        device.process_queue(device.TX_QUEUE)
+        done = tx.pop_used()
+        assert done.status == STATUS_UNSUPP
+        assert device.tx_frames == 0
+
+    @pytest.mark.parametrize("fields", _NASTY_DESCRIPTORS[:4])
+    def test_rng_survives(self, env, fields):
+        _dram, bus, ledger = env
+        device = VirtioRngDevice(0x1000_3000, 3, bus, ledger, DEFAULT_COSTS)
+        device.dma_translate = lambda gpa: gpa
+        queue = Virtqueue(ring_gpa=BUF)
+        device.attach_queue(0, queue)
+        fields = dict(fields)
+        fields.pop("payload", None)
+        queue.post(Descriptor(gpa=BUF, **fields))
+        device.process_queue(0)
+        done = queue.pop_used()
+        assert done.status == STATUS_UNSUPP

@@ -128,3 +128,71 @@ class TestEndpointErrors:
             return True
 
         assert machine.run(a, workload)["workload_result"]
+
+
+class TestDoorbellCoalescing:
+    """Adaptive (EVENT_IDX-style) vs eager doorbell policy."""
+
+    def _stream(self, machine, adaptive: bool, messages: int = 24):
+        from repro.machine import WAIT_DOORBELL
+        from repro.workloads.pingpong import DEFAULT_WINDOW_SIZE, _window_gpa
+
+        consumer, producer = _pair(machine)
+        box = {}
+        meas = consumer.cvm.measurement
+
+        def consumer_workload(ctx):
+            endpoint = ChannelEndpoint.create(
+                ctx, _window_gpa(ctx), DEFAULT_WINDOW_SIZE, meas,
+                adaptive=adaptive)
+            box["channel_id"] = endpoint.channel_id
+            yield
+            got = 0
+            while got < messages:
+                batch = endpoint.recv_many()
+                if not batch:
+                    yield WAIT_DOORBELL
+                    continue
+                got += len(batch)
+            return {"rung": endpoint.doorbells_rung,
+                    "suppressed": endpoint.doorbells_suppressed,
+                    "received": got}
+
+        def producer_workload(ctx):
+            while "channel_id" not in box:
+                yield
+            endpoint = ChannelEndpoint.connect(
+                ctx, box["channel_id"], _window_gpa(ctx), meas,
+                adaptive=adaptive)
+            for seq in range(messages):
+                while not endpoint.send(b"m%03d" % seq):
+                    yield WAIT_DOORBELL
+                if (seq + 1) % 8 == 0:
+                    yield  # let the consumer drain mid-stream
+            return {"rung": endpoint.doorbells_rung,
+                    "suppressed": endpoint.doorbells_suppressed}
+
+        results = machine.run_concurrent([
+            (consumer, consumer_workload),
+            (producer, producer_workload),
+        ])
+        assert results[consumer]["received"] == messages
+        return results[consumer], results[producer]
+
+    def test_eager_rings_every_send(self, machine):
+        consumer, producer = self._stream(machine, adaptive=False)
+        assert producer["rung"] == 24  # one notify ECALL per message
+        assert producer["suppressed"] == 0
+        assert consumer["suppressed"] == 0
+
+    def test_adaptive_suppresses_most_doorbells(self, machine):
+        consumer, producer = self._stream(machine, adaptive=True)
+        assert producer["rung"] + producer["suppressed"] == 24
+        assert producer["suppressed"] > 0
+        # Every ring was a genuine park/unpark edge, far below one per send.
+        assert producer["rung"] < 24 / 2
+
+    def test_adaptive_and_eager_deliver_identical_payload_work(self, machine):
+        adaptive = self._stream(machine, adaptive=True)
+        eager = self._stream(machine, adaptive=False)
+        assert adaptive[0]["received"] == eager[0]["received"]

@@ -163,3 +163,64 @@ class TestAdversarialPeer:
             return ring.received
 
         assert _run_ring(machine, cvm_session, body) == 0
+
+
+class TestAdaptiveEventWords:
+    """EVENT_IDX-style doorbell-suppression hints (adaptive mode)."""
+
+    def _adaptive_ring(self, ctx, session):
+        base = session.layout.dram_base + BASE_OFFSET
+        ctx.touch_range(base, REGION)
+        return SpscRing(ctx, base, REGION, adaptive=True)
+
+    def test_send_crossing_published_event_sets_data_hint(self, machine, cvm_session):
+        def workload(ctx):
+            ring = self._adaptive_ring(ctx, cvm_session)
+            assert ring.try_recv() is None  # empty poll publishes data_event
+            assert ring.try_send(b"wake me")
+            first = ring.take_data_hint()
+            second = ring.take_data_hint()  # consumed: must not re-arm
+            assert ring.try_send(b"no republish")  # event is now stale
+            third = ring.take_data_hint()
+            return first, second, third
+
+        out = machine.run(cvm_session, workload)["workload_result"]
+        assert out == (True, False, False)
+
+    def test_refused_send_publishes_credit_event(self, machine, cvm_session):
+        def workload(ctx):
+            ring = self._adaptive_ring(ctx, cvm_session)
+            big = bytes(ring.capacity - LENGTH_PREFIX - 32)
+            assert ring.try_send(big)
+            assert not ring.try_send(b"x" * 64)  # refused: publishes the event
+            assert ring.try_recv() == big  # crossing it arms the credit hint
+            return ring.take_credit_hint(), ring.take_credit_hint()
+
+        assert machine.run(cvm_session, workload)["workload_result"] == (True, False)
+
+    def test_non_adaptive_ring_never_hints(self, machine, cvm_session):
+        def workload(ctx):
+            base = cvm_session.layout.dram_base + BASE_OFFSET
+            ctx.touch_range(base, REGION)
+            ring = SpscRing(ctx, base, REGION)  # adaptive off (the default)
+            assert ring.try_recv() is None
+            assert ring.try_send(b"data")
+            assert ring.try_recv() == b"data"
+            return ring.take_data_hint(), ring.take_credit_hint()
+
+        assert machine.run(cvm_session, workload)["workload_result"] == (False, False)
+
+    def test_event_words_do_not_disturb_payload(self, machine, cvm_session):
+        """The event words live in the header pad, clear of the data area."""
+        def workload(ctx):
+            ring = self._adaptive_ring(ctx, cvm_session)
+            assert ring.try_recv() is None  # writes data_event
+            filler = bytes(ring.capacity - LENGTH_PREFIX - 32)
+            assert ring.try_send(filler)
+            assert not ring.try_send(b"x" * 64)  # refused: writes credit_event
+            assert ring.try_recv() == filler
+            payload = bytes(range(64))
+            assert ring.try_send(payload)
+            return ring.try_recv()
+
+        assert machine.run(cvm_session, workload)["workload_result"] == bytes(range(64))

@@ -86,3 +86,10 @@ def test_fleet_ablation_table(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "downtime mean" in out
     assert "    2     4     1" in out
+
+
+def test_virtio_batch_smoke(capsys):
+    assert main(["virtio-batch", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "iozone" in out and "redis_batch" in out and "doorbells" in out
+    assert "FAIL" not in out
