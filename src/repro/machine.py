@@ -33,11 +33,13 @@ from repro.isa.privilege import PrivilegeMode
 from repro.isa.traps import (
     AccessType,
     ExceptionCause,
+    guest_page_fault_for,
     route_exception,
 )
 from repro.mem.frames import FrameAllocator
 from repro.mem.physmem import PAGE_SIZE, MemoryBus, PhysicalMemory
 from repro.mem.tlb import Tlb
+from repro.mem.tracecache import SeqTrace, TraceCache
 from repro.mem.translation import AddressTranslator
 from repro.sm.cvm import CvmState, GpaLayout
 from repro.sm.monitor import SecureMonitor
@@ -49,6 +51,10 @@ _MMIO_GPR_INDEX = 10
 #: Yielded by a concurrent workload to park its session until an
 #: inter-CVM channel doorbell targets its CVM (see :meth:`Machine.run_concurrent`).
 WAIT_DOORBELL = object()
+
+#: Returned by :meth:`Machine._replay_seq` when a recorded trace failed its
+#: structural validity check and the sequence must re-execute live.
+_REPLAY_REJECT = object()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,6 +78,10 @@ class MachineConfig:
     secure_block_size: int | None = None
     #: Ablation switch: stage-1 per-vCPU page caches (paper IV-D).
     use_page_cache: bool = True
+    #: Wall-clock switch: record/replay hot guest-access sequences
+    #: (:mod:`repro.mem.tracecache`).  Cycle-exact either way; exposed so
+    #: the equivalence tests can diff cached against uncached runs.
+    trace_cache: bool = True
     costs: CycleCosts = DEFAULT_COSTS
 
 
@@ -189,6 +199,17 @@ class Machine:
         self.ecall_interface = EcallInterface(
             self.monitor, running_cvm_of=self._running_cvm_of
         )
+        # Batched guest-access engine state.  The engine fuses same-category
+        # charges (n TLB hits as one charge of n*tlb_hit), which is only
+        # bit-identical to per-access charging when the per-access costs are
+        # integral (charge() floors); non-integral cost ablations fall back
+        # to the per-access loops wholesale.
+        costs_integral = (
+            self.costs.tlb_hit == int(self.costs.tlb_hit)
+            and self.costs.page_walk_level == int(self.costs.page_walk_level)
+        )
+        self._trace_cache = TraceCache() if cfg.trace_cache and costs_integral else None
+        self._charge_seq_compute = self.ledger.charger(Category.COMPUTE, 1)
 
     def _running_cvm_of(self, hart):
         """ABI helper: which CVM/vCPU is executing on this hart, if any."""
@@ -549,6 +570,451 @@ class Machine:
             )
 
     # ------------------------------------------------------------------
+    # Batched guest-access engine (load_seq / store_seq / touch_seq)
+    # ------------------------------------------------------------------
+
+    def run_seq(self, session: GuestSession, op: str, gva0: int, step: int,
+                count: int, size: int, values, gvas):
+        """Execute one access sequence: replay its trace, or run + record.
+
+        ``op`` is ``"L"``/``"S"``/``"T"`` (load_seq / store_seq /
+        touch_seq).  Strided sequences address ``gva0 + i*step``; touch
+        sequences carry their literal ``gvas`` tuple.  Cycle-exact against
+        the per-access loops by construction (see
+        :mod:`repro.mem.tracecache` for the validity argument).
+        """
+        if count <= 0:
+            return [] if op == "L" else None
+        key = (
+            op,
+            session.vmid,
+            session.hgatp_root,
+            gvas if gvas is not None else (gva0, step, count),
+            size,
+        )
+        trace = self._trace_cache.get(key)
+        if trace is not None and trace.token == (
+            self.monitor.split.map_generation,
+            self.hypervisor.map_generation,
+        ):
+            result = self._replay_seq(session, op, trace, gva0, step, count,
+                                      size, values, gvas)
+            if result is not _REPLAY_REJECT:
+                return result
+        return self._engine_seq(session, op, gva0, step, count, size,
+                                values, gvas, key)
+
+    def _access_one(self, session: GuestSession, gva: int, access: AccessType):
+        """Single-access engine fast path: resolved PA, or ``None``.
+
+        The inlined common case of :meth:`guest_access` -- timer compare,
+        TLB hit or valid-walk miss on an ordinary memory address -- with
+        identical charges, statistics and LRU motion.  Returns ``None``
+        *before* charging or mutating anything whenever the access needs
+        the generic machinery (MMIO or out-of-region addresses,
+        permission faults, stage-2 faults), so the caller falls back to
+        :meth:`guest_access` with nothing to undo.  Channel-ring header
+        words and payload chunks are the hot callers.
+        """
+        ledger = self.ledger
+        hart = session.hart
+        if ledger._total >= self.clint._mtimecmp[hart.hart_id]:
+            self.check_timer(session)
+        layout = session.layout
+        if session.kind is VmKind.CONFIDENTIAL:
+            if not 0 <= gva - layout.dram_base < layout.dram_size:
+                return None
+        elif layout.mmio_base <= gva < layout.mmio_base + layout.mmio_size:
+            return None
+        translator = self.translator
+        tlb = translator.tlb
+        key = (session.vmid, gva >> 12)
+        entry = tlb._entries.get(key)
+        required = access.required_pte_bit
+        if entry is not None:
+            ppage, flags = entry
+            if not flags & required:
+                return None
+            tlb.hits += 1
+            tlb._entries.move_to_end(key)
+            translator._charge_tlb_hit()
+            return ppage << 12 | gva & 0xFFF
+        if not 0 <= gva < translator.sv39x4._va_limit:
+            return None
+        wpa, wflags, levels, _slot = translator.probe_gpa(session.hgatp_root, gva)
+        if wpa is None or not wflags & required:
+            return None
+        tlb.misses += 1
+        ledger.charge(Category.PAGE_WALK, levels * int(self.costs.page_walk_level))
+        self.bus._cpu_check(hart, wpa, 1, access)
+        tlb.insert(session.vmid, gva >> 12, wpa >> 12, wflags)
+        return wpa
+
+    def _engine_seq(self, session: GuestSession, op: str, gva0: int, step: int,
+                    count: int, size: int, values, gvas, key,
+                    start: int = 0, out=None):
+        """The live per-access engine: TLB probe, walk, fault fix, record.
+
+        Per access this performs exactly the architectural sequence the
+        per-element :meth:`guest_access` loop performs -- same timer
+        check, same TLB statistics and LRU motion, same charges in the
+        same order -- but with translation inlined for the common
+        outcomes.  Anything unusual (MMIO or shared-region addresses,
+        permission-insufficient entries, faults that cannot take the SM's
+        fused fix, VS-stage paging enabled upstream) detours that one
+        access through the generic :meth:`guest_access` *before* any
+        charge or mutation, so the detour is invisible.
+
+        A clean pure-flavor run starting at ``start == 0`` is recorded
+        under ``key`` for future replay.
+        """
+        ledger = self.ledger
+        charge = ledger.charge
+        tlb = self.translator.tlb
+        entries = tlb._entries
+        entries_get = entries.get
+        move_to_end = entries.move_to_end
+        insert = tlb.insert
+        charge_tlb_hit = self.translator._charge_tlb_hit
+        charge_compute = self._charge_seq_compute
+        probe = self.translator.probe_gpa
+        va_limit = self.translator.sv39x4._va_limit
+        walk_cost = int(self.costs.page_walk_level)
+        hart = session.hart
+        hart_id = hart.hart_id
+        mtimecmp = self.clint._mtimecmp
+        check_timer = self.check_timer
+        vmid = session.vmid
+        root = session.hgatp_root
+        cpu_check = self.bus._cpu_check
+        guest_access = self.guest_access
+        dram = self.dram
+        read_u64 = dram.read_u64
+        dread = dram.read
+        write_u64 = dram.write_u64
+        dwrite = dram.write
+        confidential = session.kind is VmKind.CONFIDENTIAL
+        layout = session.layout
+        if confidential:
+            private_lo = layout.dram_base
+            private_hi = private_lo + layout.dram_size
+        else:
+            mmio_lo = layout.mmio_base
+            mmio_hi = mmio_lo + layout.mmio_size
+        access = AccessType.STORE if op == "S" else AccessType.LOAD
+        required = access.required_pte_bit
+        # The SM's fused fault fix applies only when the fault would route
+        # to M mode with nobody observing the piecewise handler.  Routing
+        # depends only on the delegation CSRs, which world switches restore
+        # identically, so one check covers the whole sequence.
+        fault_direct = (
+            confidential
+            and self.fault_observer is None
+            and route_exception(
+                guest_page_fault_for(access), hart.mode, hart.medeleg, hart.hedeleg
+            ) is PrivilegeMode.M
+        )
+        monitor = self.monitor
+        cvm = session.cvm
+        vcpu_id = session.vcpu_id
+        mask64 = (1 << 64) - 1
+        small = min(size, 8)
+        small_mask = (1 << (8 * small)) - 1
+        aligned8 = size == 8
+
+        if out is None and op == "L":
+            out = []
+        append = out.append if op == "L" else None
+
+        recording = key is not None and start == 0
+        rec_keys: list = []
+        rec_pas: list = []
+        rec_entries: list = []
+        rec_walks: list = []
+        any_hit = any_miss = False
+
+        i = start
+        while i < count:
+            gva = gvas[i] if gvas is not None else gva0 + i * step
+            if ledger._total >= mtimecmp[hart_id]:
+                check_timer(session)
+            engine_ok = (
+                private_lo <= gva < private_hi
+                if confidential
+                else not mmio_lo <= gva < mmio_hi
+            )
+            pa = 0
+            if engine_ok:
+                for _attempt in range(8):
+                    key2 = (vmid, gva >> 12)
+                    entry = entries_get(key2)
+                    if entry is not None:
+                        ppage, flags = entry
+                        if not flags & required:
+                            # Hardware re-walks; take the generic path (the
+                            # probe above mutated nothing).
+                            engine_ok = False
+                            break
+                        tlb.hits += 1
+                        move_to_end(key2)
+                        charge_tlb_hit()
+                        pa = ppage << 12 | gva & 0xFFF
+                        if recording:
+                            if any_miss:
+                                recording = False
+                            else:
+                                any_hit = True
+                                rec_keys.append(key2)
+                                rec_pas.append(pa)
+                                rec_entries.append(entry)
+                        break
+                    if not 0 <= gva < va_limit:
+                        engine_ok = False
+                        break
+                    wpa, wflags, levels, leaf_slot = probe(root, gva)
+                    if wpa is not None:
+                        if not wflags & required:
+                            engine_ok = False
+                            break
+                        tlb.misses += 1
+                        charge(Category.PAGE_WALK, levels * walk_cost)
+                        cpu_check(hart, wpa, 1, access)
+                        insert(vmid, gva >> 12, wpa >> 12, wflags)
+                        pa = wpa
+                        if recording:
+                            if any_hit:
+                                recording = False
+                            else:
+                                any_miss = True
+                                rec_keys.append(key2)
+                                rec_pas.append(pa)
+                                rec_entries.append((wpa >> 12, wflags))
+                                rec_walks.append(levels * walk_cost)
+                        break
+                    # Invalid walk: a stage-2 guest page fault.
+                    if not fault_direct:
+                        engine_ok = False
+                        break
+                    recording = False
+                    tlb.misses += 1
+                    charge(Category.PAGE_WALK, levels * walk_cost)
+                    if not leaf_slot or not monitor.fault_fix_fast(
+                        cvm, vcpu_id, gva, leaf_slot
+                    ):
+                        monitor.handle_guest_page_fault(hart, cvm, vcpu_id, gva)
+                    # Retry in-engine: charges already landed, and the
+                    # per-access loop performs no extra timer check between
+                    # a fault fix and its retry.
+                else:
+                    raise ConfigurationError(
+                        f"guest access at {gva:#x} did not make progress after 8 faults"
+                    )
+            if not engine_ok:
+                recording = False
+                if op == "S":
+                    value = values[i]
+                    self._pending_store_value = value & mask64
+                    res, kind = guest_access(session, gva, access, size)
+                    charge_compute()
+                    if kind != "mmio":
+                        if aligned8 and not res & 7:
+                            write_u64(res, value)
+                        else:
+                            dwrite(res, (value & small_mask).to_bytes(small, "little"))
+                elif op == "L":
+                    res, kind = guest_access(session, gva, access, size)
+                    charge_compute()
+                    if kind == "mmio":
+                        append(res)
+                    elif aligned8 and not res & 7:
+                        append(read_u64(res))
+                    else:
+                        append(int.from_bytes(dread(res, small), "little"))
+                else:
+                    guest_access(session, gva, access, 1)
+                    charge_compute()
+                i += 1
+                continue
+            charge_compute()
+            if op == "L":
+                if aligned8 and not pa & 7:
+                    append(read_u64(pa))
+                else:
+                    append(int.from_bytes(dread(pa, small), "little"))
+            elif op == "S":
+                value = values[i]
+                if aligned8 and not pa & 7:
+                    write_u64(pa, value)
+                else:
+                    dwrite(pa, (value & small_mask).to_bytes(small, "little"))
+            i += 1
+
+        if op == "S":
+            # Residual-state parity: the per-access loop leaves the last
+            # store value latched for MMIO emulation.
+            self._pending_store_value = values[count - 1] & mask64
+
+        if recording:
+            token = (self.monitor.split.map_generation, self.hypervisor.map_generation)
+            if any_miss and not any_hit and len(set(rec_keys)) == count:
+                self._trace_cache.put(key, SeqTrace(
+                    "miss", token, None, rec_keys, rec_pas, rec_entries,
+                    rec_walks, None,
+                ))
+            elif any_hit and not any_miss:
+                expected: dict = {}
+                consistent = True
+                for k, e in zip(rec_keys, rec_entries):
+                    prev = expected.get(k)
+                    if prev is None:
+                        expected[k] = e
+                    elif prev != e:
+                        consistent = False
+                        break
+                if consistent:
+                    self._trace_cache.put(key, SeqTrace(
+                        "hit", token, tlb.generation, rec_keys, rec_pas,
+                        None, None, expected,
+                    ))
+        return out
+
+    def _replay_seq(self, session: GuestSession, op: str, trace, gva0: int,
+                    step: int, count: int, size: int, values, gvas):
+        """Replay a validated trace; ``_REPLAY_REJECT`` if validation fails.
+
+        The caller has already checked the map token.  Here the TLB-side
+        proof runs, then the replay performs the identical state updates
+        and charges the live engine would.  All-hit replays fuse each
+        timer-window's worth of accesses into one pair of charges; the
+        chunk boundary is computed so the timer fires at exactly the
+        access where the per-access loop would have fired it.
+        """
+        tlb = self.translator.tlb
+        entries = tlb._entries
+        keys = trace.keys
+        if trace.flavor == "hit":
+            if tlb.generation != trace.tlb_gen:
+                entries_get = entries.get
+                for k, e in trace.expected.items():
+                    if entries_get(k) != e:
+                        return _REPLAY_REJECT
+                trace.tlb_gen = tlb.generation
+        else:
+            for k in keys:
+                if k in entries:
+                    return _REPLAY_REJECT
+
+        ledger = self.ledger
+        hart_id = session.hart.hart_id
+        mtimecmp = self.clint._mtimecmp
+        check_timer = self.check_timer
+        dram = self.dram
+        read_u64 = dram.read_u64
+        dread = dram.read
+        write_u64 = dram.write_u64
+        dwrite = dram.write
+        mask64 = (1 << 64) - 1
+        small = min(size, 8)
+        small_mask = (1 << (8 * small)) - 1
+        aligned8 = size == 8
+        pas = trace.pas
+        out = [] if op == "L" else None
+
+        if trace.flavor == "miss":
+            # Per-access replay: the PMP check can legitimately raise, so
+            # charges must land access-by-access exactly as recorded.
+            charge = ledger.charge
+            hart = session.hart
+            cpu_check = self.bus._cpu_check
+            insert = tlb.insert
+            access = AccessType.STORE if op == "S" else AccessType.LOAD
+            charge_compute = self._charge_seq_compute
+            ents = trace.entries
+            walks = trace.walk_cycles
+            for i in range(count):
+                if ledger._total >= mtimecmp[hart_id]:
+                    check_timer(session)
+                tlb.misses += 1
+                charge(Category.PAGE_WALK, walks[i])
+                pa = pas[i]
+                cpu_check(hart, pa, 1, access)
+                k = keys[i]
+                e = ents[i]
+                insert(k[0], k[1], e[0], e[1])
+                charge_compute()
+                if op == "L":
+                    if aligned8 and not pa & 7:
+                        out.append(read_u64(pa))
+                    else:
+                        out.append(int.from_bytes(dread(pa, small), "little"))
+                elif op == "S":
+                    value = values[i]
+                    if aligned8 and not pa & 7:
+                        write_u64(pa, value)
+                    else:
+                        dwrite(pa, (value & small_mask).to_bytes(small, "little"))
+        else:
+            move_to_end = entries.move_to_end
+            tlb_hit = int(self.costs.tlb_hit)
+            per_access = tlb_hit + 1  # TLB hit + the compute charge
+            charge = ledger.charge
+            append = out.append if op == "L" else None
+            i = 0
+            while i < count:
+                total = ledger._total
+                cmp_ = mtimecmp[hart_id]
+                if total >= cmp_:
+                    generation = tlb.generation
+                    check_timer(session)
+                    if tlb.generation != generation:
+                        # The tick flushed translations: the rest of the
+                        # sequence misses, which this trace cannot speak
+                        # for -- hand the tail to the live engine.
+                        return self._engine_seq(
+                            session, op, gva0, step, count, size, values,
+                            gvas, None, start=i, out=out,
+                        )
+                    total = ledger._total
+                    cmp_ = mtimecmp[hart_id]
+                # Largest chunk whose accesses all run before the next
+                # tick: access j fires the timer iff the total *before* it
+                # reached mtimecmp, so n accesses are safe when
+                # total + (n-1)*per_access < cmp.
+                n = (cmp_ - total - 1) // per_access + 1
+                remaining = count - i
+                if n > remaining:
+                    n = remaining
+                end = i + n
+                if op == "L":
+                    for j in range(i, end):
+                        move_to_end(keys[j])
+                        pa = pas[j]
+                        if aligned8 and not pa & 7:
+                            append(read_u64(pa))
+                        else:
+                            append(int.from_bytes(dread(pa, small), "little"))
+                elif op == "S":
+                    for j in range(i, end):
+                        move_to_end(keys[j])
+                        pa = pas[j]
+                        value = values[j]
+                        if aligned8 and not pa & 7:
+                            write_u64(pa, value)
+                        else:
+                            dwrite(pa, (value & small_mask).to_bytes(small, "little"))
+                else:
+                    for j in range(i, end):
+                        move_to_end(keys[j])
+                tlb.hits += n
+                charge(Category.TLB, n * tlb_hit)
+                charge(Category.COMPUTE, n)
+                i = end
+
+        if op == "S":
+            self._pending_store_value = values[count - 1] & mask64
+        return out
+
+    # ------------------------------------------------------------------
     # Trap dispatch
     # ------------------------------------------------------------------
 
@@ -630,12 +1096,18 @@ class Machine:
         if layout.in_private_dram(gpa):
             # Stage-2 fault on private memory: the SM resolves it alone --
             # no world switch, the whole point of SM-side allocation.
+            # Spans are charge-free snapshots, so opening one only matters
+            # when an observer will read it.
+            if self.fault_observer is None:
+                self.monitor.handle_guest_page_fault(
+                    session.hart, session.cvm, session.vcpu_id, gpa
+                )
+                return None
             with self.ledger.span() as span:
                 stage = self.monitor.handle_guest_page_fault(
                     session.hart, session.cvm, session.vcpu_id, gpa
                 )
-            if self.fault_observer is not None:
-                self.fault_observer("sm", stage, span.cycles)
+            self.fault_observer("sm", stage, span.cycles)
             return None
         if layout.in_mmio(gpa):
             return self._emulate_mmio_cvm(session, gpa, access)
@@ -744,26 +1216,44 @@ class GuestContext:
 
     def load(self, gva: int, size: int = 8) -> int:
         """Guest load; returns the value (integers up to 8 bytes)."""
-        value, kind = self.machine.guest_access(self.session, gva, AccessType.LOAD, size)
+        machine = self.machine
+        if machine._trace_cache is not None and self.session.vsatp_root is None:
+            pa = machine._access_one(self.session, gva, AccessType.LOAD)
+            if pa is not None:
+                self._charge_access()
+                if size == 8 and not pa & 7:
+                    return machine.dram.read_u64(pa)
+                return int.from_bytes(machine.dram.read(pa, min(size, 8)), "little")
+        value, kind = machine.guest_access(self.session, gva, AccessType.LOAD, size)
         self._charge_access()
         if kind == "mmio":
             return value
         if size == 8 and not value & 7:
-            return self.machine.dram.read_u64(value)
-        data = self.machine.dram.read(value, min(size, 8))
+            return machine.dram.read_u64(value)
+        data = machine.dram.read(value, min(size, 8))
         return int.from_bytes(data, "little")
 
     def store(self, gva: int, value: int, size: int = 8) -> None:
         """Guest store of an integer value."""
-        self.machine._pending_store_value = value & (1 << 64) - 1
-        pa, kind = self.machine.guest_access(self.session, gva, AccessType.STORE, size)
+        machine = self.machine
+        machine._pending_store_value = value & (1 << 64) - 1
+        if machine._trace_cache is not None and self.session.vsatp_root is None:
+            pa = machine._access_one(self.session, gva, AccessType.STORE)
+            if pa is not None:
+                self._charge_access()
+                if size == 8 and not pa & 7:
+                    machine.dram.write_u64(pa, value)
+                    return
+                machine.dram.write(pa, (value & (1 << (8 * min(size, 8))) - 1).to_bytes(min(size, 8), "little"))
+                return
+        pa, kind = machine.guest_access(self.session, gva, AccessType.STORE, size)
         self._charge_access()
         if kind == "mmio":
             return
         if size == 8 and not pa & 7:
-            self.machine.dram.write_u64(pa, value)
+            machine.dram.write_u64(pa, value)
             return
-        self.machine.dram.write(pa, (value & (1 << (8 * min(size, 8))) - 1).to_bytes(min(size, 8), "little"))
+        machine.dram.write(pa, (value & (1 << (8 * min(size, 8))) - 1).to_bytes(min(size, 8), "little"))
 
     def load_seq(self, gva: int, count: int, size: int = 8, stride: int | None = None) -> list:
         """Batched guest loads: ``count`` values starting at ``gva``.
@@ -776,6 +1266,8 @@ class GuestContext:
         step = size if stride is None else stride
         machine = self.machine
         session = self.session
+        if machine._trace_cache is not None and session.vsatp_root is None:
+            return machine.run_seq(session, "L", gva, step, count, size, None, None)
         guest_access = machine.guest_access
         charge = self._charge_access
         read_u64 = machine.dram.read_u64
@@ -804,6 +1296,11 @@ class GuestContext:
         step = size if stride is None else stride
         machine = self.machine
         session = self.session
+        if machine._trace_cache is not None and session.vsatp_root is None:
+            if not isinstance(values, (list, tuple)):
+                values = list(values)
+            machine.run_seq(session, "S", gva, step, len(values), size, values, None)
+            return
         guest_access = machine.guest_access
         charge = self._charge_access
         write_u64 = machine.dram.write_u64
@@ -825,30 +1322,46 @@ class GuestContext:
 
     def write_bytes(self, gva: int, data: bytes) -> None:
         """Bulk guest write (page-wise translation, per-byte copy charge)."""
+        machine = self.machine
+        fast = machine._trace_cache is not None and self.session.vsatp_root is None
         offset = 0
         while offset < len(data):
             chunk = min(len(data) - offset, PAGE_SIZE - (gva + offset) % PAGE_SIZE)
-            pa, kind = self.machine.guest_access(
-                self.session, gva + offset, AccessType.STORE, chunk
+            pa = (
+                machine._access_one(self.session, gva + offset, AccessType.STORE)
+                if fast
+                else None
             )
-            if kind != "memory":
-                raise ConfigurationError("bulk write hit an MMIO window")
-            self.machine.dram.write(pa, data[offset : offset + chunk])
+            if pa is None:
+                pa, kind = machine.guest_access(
+                    self.session, gva + offset, AccessType.STORE, chunk
+                )
+                if kind != "memory":
+                    raise ConfigurationError("bulk write hit an MMIO window")
+            machine.dram.write(pa, data[offset : offset + chunk])
             offset += chunk
         self.ledger.charge(Category.COPY, self.costs.copy_bytes(len(data)))
 
     def read_bytes(self, gva: int, length: int) -> bytes:
         """Bulk guest read."""
+        machine = self.machine
+        fast = machine._trace_cache is not None and self.session.vsatp_root is None
         out = bytearray()
         offset = 0
         while offset < length:
             chunk = min(length - offset, PAGE_SIZE - (gva + offset) % PAGE_SIZE)
-            pa, kind = self.machine.guest_access(
-                self.session, gva + offset, AccessType.LOAD, chunk
+            pa = (
+                machine._access_one(self.session, gva + offset, AccessType.LOAD)
+                if fast
+                else None
             )
-            if kind != "memory":
-                raise ConfigurationError("bulk read hit an MMIO window")
-            out += self.machine.dram.read(pa, chunk)
+            if pa is None:
+                pa, kind = machine.guest_access(
+                    self.session, gva + offset, AccessType.LOAD, chunk
+                )
+                if kind != "memory":
+                    raise ConfigurationError("bulk read hit an MMIO window")
+            out += machine.dram.read(pa, chunk)
             offset += chunk
         self.ledger.charge(Category.COPY, self.costs.copy_bytes(length))
         return bytes(out)
@@ -877,6 +1390,10 @@ class GuestContext:
         """
         machine = self.machine
         session = self.session
+        if machine._trace_cache is not None and session.vsatp_root is None:
+            gvas = tuple(gvas)
+            machine.run_seq(session, "T", 0, 0, len(gvas), 1, None, gvas)
+            return
         guest_access = machine.guest_access
         charge = self._charge_access
         for gva in gvas:

@@ -1,0 +1,105 @@
+"""Guest-access trace cache: recorded replays of hot access sequences.
+
+Workload hot loops issue the same ``load_seq``/``store_seq``/``touch_seq``
+shapes over and over (a redis request touches the same 10 working-set
+pages; a ring poll reads the same descriptors).  The first execution of a
+shape runs the real per-access engine and *records* what happened -- the
+resolved host addresses and the exact charge vector.  Later executions
+replay the record against physical memory, provided a set of cheap
+validity proofs shows the machine state still implies the identical
+architectural outcome:
+
+- a **map token** ``(SplitTableManager.map_generation,
+  Hypervisor.map_generation)``: unchanged means no stage-2 table anywhere
+  was mutated, so every recorded walk still resolves identically;
+- for all-hit traces, the TLB ``generation`` (or, when that is stale, a
+  structural re-check that every recorded entry is still present with the
+  recorded value): entries can only change via a flush/evict, each of
+  which bumps the generation;
+- for all-miss traces, every recorded key being *absent* from the TLB.
+
+Only *pure* runs are stored -- every access a TLB hit, or every access a
+TLB miss with a valid walk (distinct pages, no faults, no fallback to the
+generic path).  Mixed runs, faulting runs, and anything that left the
+fast-path region replay nothing and always re-execute.  This keeps the
+validity argument airtight: replays are bit-identical in total cycles,
+per-category counts, TLB statistics, and memory effects, because the
+replay performs the same state updates in the same order and the proofs
+guarantee each recorded per-access outcome is the one the live engine
+would reach.
+
+Wall-clock only: the cache changes how fast *Python* reproduces a
+sequence, never what the sequence charges.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class SeqTrace:
+    """One recorded access sequence, pure in flavor ("hit" or "miss")."""
+
+    __slots__ = (
+        "flavor",
+        "token",
+        "tlb_gen",
+        "keys",
+        "pas",
+        "entries",
+        "walk_cycles",
+        "expected",
+    )
+
+    def __init__(self, flavor, token, tlb_gen, keys, pas, entries, walk_cycles, expected):
+        #: "hit" (every access a TLB hit) or "miss" (every access a valid-walk miss).
+        self.flavor = flavor
+        #: (split.map_generation, hypervisor.map_generation) at record time.
+        self.token = token
+        #: TLB generation at record time ("hit" traces; fast validity shortcut).
+        self.tlb_gen = tlb_gen
+        #: Per-access TLB key ``(vmid, vpage)``.
+        self.keys = keys
+        #: Per-access resolved physical address.
+        self.pas = pas
+        #: Per-access TLB entry value ``(ppage, flags)`` ("miss": what to insert).
+        self.entries = entries
+        #: Per-access fused walk charge, cycles ("miss" traces only).
+        self.walk_cycles = walk_cycles
+        #: key -> (ppage, flags) expected present ("hit" traces only).
+        self.expected = expected
+
+
+class TraceCache:
+    """Bounded LRU of :class:`SeqTrace`, keyed by the call-site shape.
+
+    Keys are ``(op, vmid, hgatp_root, addresses, size)`` where
+    ``addresses`` is ``(gva0, step, count)`` for strided sequences or the
+    literal gva tuple for ``touch_seq``.  The vmid/root components make
+    stale traces from destroyed VMs unreachable (vmids are never reused
+    within a machine), so the cache needs no teardown hook.
+    """
+
+    __slots__ = ("capacity", "_traces")
+
+    def __init__(self, capacity: int = 2048):
+        self.capacity = capacity
+        self._traces: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        """The trace recorded for ``key``, refreshed in LRU order."""
+        trace = self._traces.get(key)
+        if trace is not None:
+            self._traces.move_to_end(key)
+        return trace
+
+    def put(self, key, trace: SeqTrace) -> None:
+        """Record (or replace) ``key``'s trace, evicting the LRU at capacity."""
+        traces = self._traces
+        traces[key] = trace
+        traces.move_to_end(key)
+        while len(traces) > self.capacity:
+            traces.popitem(last=False)
+
+    def __len__(self):
+        return len(self._traces)

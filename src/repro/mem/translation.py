@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.cycles import Category, CycleCosts, CycleLedger
 from repro.errors import TrapRaised
 from repro.isa.traps import AccessType, guest_page_fault_for, page_fault_for
-from repro.mem.pagetable import Sv39, Sv39x4
+from repro.mem.pagetable import _PPN_MASK, _PPN_SHIFT, Sv39, Sv39x4
 from repro.mem.physmem import PAGE_SIZE
 from repro.mem.tlb import Tlb
 
@@ -110,6 +110,42 @@ class AddressTranslator:
                 message=f"G-stage miss for {access.value} at GPA {gpa:#x}",
             )
         return result.pa, result.flags
+
+    def probe_gpa(self, hgatp_root: int, gpa: int) -> tuple:
+        """Uncharged, non-mutating G-stage walk for the batched access engine.
+
+        Returns ``(pa, flags, levels, leaf_slot)``:
+
+        - valid leaf: the translation plus ``levels``, the number of PTE
+          reads a charged walk performs;
+        - invalid: ``pa`` is ``None``, ``levels`` is the reads a charged
+          walk would perform before faulting, and ``leaf_slot`` is the
+          physical slot of the invalid *full-depth* leaf PTE (0 when an
+          intermediate table is missing -- the SM's fused fault fix needs
+          the leaf slot to already exist).
+
+        The caller charges ``levels * page_walk_level`` itself once it
+        commits to an outcome; probing performs no charge and no TLB or
+        statistics mutation, so the caller can still fall back to the
+        generic per-access path with nothing to undo.
+        """
+        sv = self.sv39x4
+        read_u64 = self.bus.dram.read_u64  # zionlint: disable=ZL3 probe only; the engine charges the committed walk's levels in bulk
+        shifts = sv._shifts
+        masks = sv._masks
+        spans = sv._spans
+        last = sv.levels - 1
+        table = hgatp_root
+        for depth in range(sv.levels):
+            slot = table + 8 * ((gpa >> shifts[depth]) & masks[depth])
+            pte = read_u64(slot)
+            if not pte & 1:  # PTE_V
+                return None, 0, depth + 1, slot if depth == last else 0
+            if pte & 0b1110:  # leaf (R|W|X)
+                base = (pte & _PPN_MASK) >> _PPN_SHIFT << 12
+                return base + (gpa & (spans[depth] - 1)), pte & 0xFF, depth + 1, 0
+            table = (pte & _PPN_MASK) >> _PPN_SHIFT << 12
+        return None, 0, sv.levels, 0
 
     def translate(
         self,

@@ -15,6 +15,7 @@ import itertools
 from repro.cycles import Category, CycleCosts, CycleLedger
 from repro.errors import EcallError, SecurityViolation, TrapRaised
 from repro.isa.traps import AccessType
+from repro.mem.pagetable import PTE_D, PTE_R, PTE_U, PTE_V, PTE_W, PTE_X, pte_pack
 from repro.mem.physmem import PAGE_SIZE
 from repro.sm.abi import CvmDescriptor
 from repro.sm.alloc import AllocStage, HierarchicalAllocator, PoolExhausted
@@ -25,6 +26,11 @@ from repro.sm.secmem import OWNER_SM, SecureMemoryPool
 from repro.sm.share import SplitTableManager
 from repro.sm.vcpu import SHARED_VCPU_SIZE, SharedVcpu
 from repro.sm.world_switch import WorldSwitch
+
+
+#: Leaf flags map_private installs for a demand-faulted private page
+#: (writable + executable defaults); fault_fix_fast writes the same PTE.
+_PRIVATE_LEAF_FLAGS = PTE_V | PTE_R | PTE_W | PTE_X | PTE_U | PTE_D
 
 
 class _MetadataAllocator:
@@ -92,6 +98,20 @@ class SecureMonitor:
         self._charge_fault_fixed = ledger.charger(Category.SM_LOGIC, costs.sm_fault_fixed)
         self._charge_zero_page = ledger.charger(Category.SM_LOGIC, costs.zero_bytes(PAGE_SIZE))
         self._charge_xret = ledger.charger(Category.TRAP, costs.xret)
+        # Fused variants for fault_fix_fast: a stage-1 fault fix spans no
+        # timer checkpoint and no exception seam past the point of no
+        # return, so its fixed costs fuse per category (trap entry+exit;
+        # fault fixed cost + page zero + map ownership check) with totals
+        # and breakdowns identical to the piecewise handler above.
+        self._charge_fault_fast_trap = ledger.charger(
+            Category.TRAP, costs.trap_to_m + costs.xret
+        )
+        self._charge_fault_fast_sm = ledger.charger(
+            Category.SM_LOGIC,
+            costs.sm_fault_fixed
+            + costs.zero_bytes(PAGE_SIZE)
+            + costs.ownership_check,
+        )
         self.attestation = AttestationService(device_secret, entropy_seed)
         self.world_switch = WorldSwitch(
             ledger,
@@ -493,6 +513,44 @@ class SecureMonitor:
         self.fault_stage_counts[stage] += 1
         self._charge_xret()
         return stage
+
+    def fault_fix_fast(self, cvm: ConfidentialVm, vcpu_id: int, gpa: int, leaf_slot: int) -> bool:
+        """Fused stage-1 fault fix for the machine's access engine.
+
+        The caller has already raw-walked the stage-2 table, verified the
+        GPA is in the CVM's private DRAM, and found the full-depth leaf
+        slot invalid with every intermediate table present -- the stage-1
+        common case.  This performs the identical state mutations and
+        charges the identical cycle totals as
+        :meth:`handle_guest_page_fault`, with the fixed costs fused per
+        category (see the charger comments in ``__init__``).  Returns
+        ``False`` -- before charging or mutating anything -- whenever a
+        rarer stage would be involved, so the caller falls back to the
+        piecewise handler.
+        """
+        allocator = self._allocators.get(cvm.cvm_id)
+        if allocator is None:
+            return False
+        pa = allocator.alloc_page_fast(cvm.cvm_id, vcpu_id)
+        if pa is None:
+            return False
+        # Point of no return: the allocator charged and handed out a page.
+        self._charge_fault_fast_trap()
+        self._charge_fault_fast_sm()
+        owner = self.pool.owner_of(pa)
+        if owner != cvm.cvm_id:
+            raise SecurityViolation(
+                f"frame {pa:#x} is owned by {owner!r}, not CVM {cvm.cvm_id}"
+            )
+        self.dram.zero_range(pa, PAGE_SIZE)
+        page_gpa = gpa & ~(PAGE_SIZE - 1)
+        self.dram.write_u64(leaf_slot, pte_pack(pa, _PRIVATE_LEAF_FLAGS))  # zionlint: disable=ZL3 the PTE install is charged via the fused map-walk charge below
+        split = self.split
+        split.map_generation += 1
+        split._charge_map_walk()
+        self.translator.sfence_page(cvm.vmid, page_gpa)
+        self.fault_stage_counts[AllocStage.PAGE_CACHE] += 1
+        return True
 
     def _alloc_and_map(self, cvm: ConfidentialVm, vcpu_id: int, gpa: int) -> int:
         """Allocation + mapping used by image loading (no fault framing)."""

@@ -124,21 +124,33 @@ class PmpController:
 
     # -- world-switch toggling ----------------------------------------------------
 
-    def open_pool(self, hart) -> None:
-        """Grant CVM-mode access to every pool region on this hart."""
-        self._set_pool(hart, open_=True)
+    def open_pool(self, hart, charge: bool = True) -> None:
+        """Grant CVM-mode access to every pool region on this hart.
 
-    def close_pool(self, hart) -> None:
-        """Revoke pool access before returning to Normal mode."""
-        self._set_pool(hart, open_=False)
+        ``charge=False`` performs the same PMP reprogramming but leaves
+        the cycle accounting to the caller: the world switch's memoized
+        plan pre-fires the fused ``pool_region_count * pmp_entry_write +
+        pmp_fence`` cost (same total, same category, same checkpoint
+        window -- see world_switch.py).
+        """
+        self._set_pool(hart, open_=True, charge=charge)
 
-    def _set_pool(self, hart, open_: bool) -> None:
+    def close_pool(self, hart, charge: bool = True) -> None:
+        """Revoke pool access before returning to Normal mode.
+
+        See :meth:`open_pool` for the ``charge`` contract.
+        """
+        self._set_pool(hart, open_=False, charge=charge)
+
+    def _set_pool(self, hart, open_: bool, charge: bool = True) -> None:
         for i, (base, size) in enumerate(self._pool_regions):
             hart.pmp.set_entry(
                 _FIRST_POOL_ENTRY + i, self._pool_entry(base, size, open_)
             )
-            self._ledger.charge(Category.PMP, self._costs.pmp_entry_write)
-        self._ledger.charge(Category.PMP, self._costs.pmp_fence)
+            if charge:
+                self._ledger.charge(Category.PMP, self._costs.pmp_entry_write)
+        if charge:
+            self._ledger.charge(Category.PMP, self._costs.pmp_fence)
         self._pool_open[hart.hart_id] = open_
 
     def pool_is_open(self, hart) -> bool:
@@ -148,6 +160,11 @@ class PmpController:
     @property
     def pool_regions(self):
         return list(self._pool_regions)
+
+    @property
+    def pool_region_count(self) -> int:
+        """Registered pool regions (the world-switch plan key)."""
+        return len(self._pool_regions)
 
     @property
     def pmp_entries_used(self) -> int:

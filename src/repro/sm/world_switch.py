@@ -11,6 +11,20 @@ save/restore, and the secure hypervisor's own bookkeeping.
 
 Every cost in these paths is charged from primitives as the corresponding
 code would execute; the totals the benchmarks report are emergent.
+
+Wall-clock optimisation (INTERNALS section 16): the *charges* of a switch
+are memoized into per-shape plans.  A switch's fixed costs depend only on
+(exit kind class, long_path, use_shared_vcpu, PMP pool-region count), all
+known ahead of time, so the per-category sums are precomputed once and
+fired through bound chargers instead of ~17 individual ``ledger.charge``
+calls.  Fusing only ever merges charges of the *same* category that land
+inside the *same* timer checkpoint window (a world switch performs no
+timer checks), and conditional charges -- Check-after-Load, reply
+application, full-state validation -- stay at their original call sites,
+so totals and per-category breakdowns are bit-identical to the unfused
+sequence, including on reply-refusal paths (entry charges are split into
+a pre-validation and a post-validation plan around the only exception
+seam).  The goldens in ``tests/goldens/cycle_exact.json`` pin this.
 """
 
 from __future__ import annotations
@@ -24,6 +38,9 @@ from repro.sm.vcpu import GUEST_CSRS, CheckAfterLoad, SecureVcpu, SharedVcpu
 
 #: Shared-vCPU fields written on an MMIO-style exit.
 _MMIO_EXIT_FIELDS = ("exit_cause", "htval", "htinst", "gpr_index", "gpr_value")
+
+#: Every publishable shared-vCPU slot except ``exit_cause`` (always written).
+_CLEARABLE_FIELDS = ("htval", "htinst", "gpr_index", "gpr_value", "sepc_advance", "pending_irq")
 
 
 class WorldSwitch:
@@ -50,37 +67,83 @@ class WorldSwitch:
         self.use_shared_vcpu = use_shared_vcpu
         self.long_path = long_path
         self.check_after_load = CheckAfterLoad(ledger, costs)
+        # Charge plans are a function of the PMP pool-region count (the
+        # open/close toggle reprograms one entry per region); rebuilt
+        # whenever a region is registered (pool expansion).
+        self._plan_region_count = -1
+        self._rebuild_plans()
 
-    # -- helpers ---------------------------------------------------------------
+    # -- charge plans ----------------------------------------------------------
 
-    def _charge(self, category: Category, cycles) -> None:
-        self.ledger.charge(category, cycles)
+    def _rebuild_plans(self) -> None:
+        """Precompute the fused fixed-cost chargers for every switch shape.
 
-    def _save_guest_state(self, hart, vcpu: SecureVcpu) -> None:
-        vcpu.save_from(hart)
-        self._charge(Category.REG_SAVE, self.costs.gpr_file_save)
-        self._charge(Category.REG_SAVE, len(GUEST_CSRS) * self.costs.csr_read)
+        The arithmetic below is the category-by-category sum of exactly
+        the ``ledger.charge`` calls the unfused path performed, in
+        checkpoint-safe groups; see the module docstring for the fusing
+        rules and docs/INTERNALS.md section 16 for the derivation.
+        """
+        costs = self.costs
+        charger = self.ledger.charger
+        regions = self.pmp.pool_region_count
+        self._plan_region_count = regions
+        pmp_toggle = regions * costs.pmp_entry_write + costs.pmp_fence
+        guest_save = costs.gpr_file_save + len(GUEST_CSRS) * costs.csr_read
+        guest_restore = costs.gpr_file_save + len(GUEST_CSRS) * costs.csr_write
+        hyp_save = costs.hyp_csr_context * costs.csr_read + costs.gpr_file_save
+        hyp_swap = costs.hyp_csr_context * costs.csr_swap + costs.gpr_file_save
+        delegation_swap = 4 * costs.csr_write
+        publish = len(SharedVcpuFieldsPublished) * costs.field_copy
 
-    def _restore_guest_state(self, hart, vcpu: SecureVcpu) -> None:
-        vcpu.restore_to(hart)
-        self._charge(Category.REG_SAVE, self.costs.gpr_file_save)
-        self._charge(Category.REG_SAVE, len(GUEST_CSRS) * self.costs.csr_write)
-
-    def _swap_to_hyp_context(self, hart) -> None:
-        self._charge(
-            Category.REG_SAVE,
-            self.costs.hyp_csr_context * self.costs.csr_swap + self.costs.gpr_file_save,
+        # -- exit: no exception seam, one fused fire per category --------
+        exit_trap = costs.trap_to_m + costs.xret
+        exit_sm = costs.sm_exit_logic
+        exit_reg = guest_save + publish + delegation_swap + hyp_swap
+        exit_fires = []
+        if self.long_path:
+            exit_reg += hyp_swap + hyp_save
+            exit_trap += costs.xret + costs.trap_to_m
+            exit_sm += costs.ecall_dispatch
+            exit_fires.append(charger(Category.HYP_LOGIC, costs.sec_hyp_exit_logic))
+        if not self.use_shared_vcpu:
+            field_count = len(GUEST_CSRS) + 31  # full GPR file + guest CSRs
+            exit_fires.append(
+                charger(Category.VALIDATE, field_count * costs.sanitize_field)
+            )
+        exit_fires += [
+            charger(Category.TRAP, exit_trap),
+            charger(Category.REG_SAVE, exit_reg),
+            charger(Category.PMP, pmp_toggle),
+            charger(Category.TLB, costs.tlb_flush_gvma),
+        ]
+        self._exit_fires = tuple(
+            exit_fires + [charger(Category.SM_LOGIC, exit_sm)]
+        )
+        self._exit_fires_mmio = tuple(
+            exit_fires + [charger(Category.SM_LOGIC, exit_sm + costs.sm_mmio_decode)]
         )
 
-    def _save_hyp_context(self, hart) -> None:
-        self._charge(
-            Category.REG_SAVE,
-            self.costs.hyp_csr_context * self.costs.csr_read + self.costs.gpr_file_save,
+        # -- entry: split around the Check-after-Load exception seam ------
+        self._entry_pre_fires = (
+            charger(Category.TRAP, costs.trap_to_m),
+            charger(Category.SM_LOGIC, costs.ecall_dispatch + costs.sm_entry_logic),
+            charger(Category.REG_SAVE, hyp_save),
         )
-
-    def _apply_delegation(self, hart, profile) -> None:
-        profile.apply(hart)
-        self._charge(Category.REG_SAVE, 4 * self.costs.csr_write)
+        entry_trap = costs.xret
+        entry_reg = guest_restore + delegation_swap
+        entry_post = []
+        if self.long_path:
+            entry_reg += hyp_swap + hyp_save
+            entry_trap += costs.xret + costs.trap_to_m
+            entry_post.append(charger(Category.HYP_LOGIC, costs.sec_hyp_entry_logic))
+            entry_post.append(charger(Category.SM_LOGIC, costs.ecall_dispatch))
+        entry_post += [
+            charger(Category.TRAP, entry_trap),
+            charger(Category.REG_SAVE, entry_reg),
+            charger(Category.PMP, pmp_toggle),
+            charger(Category.TLB, costs.tlb_flush_gvma),
+        ]
+        self._entry_post_fires = tuple(entry_post)
 
     # -- CVM exit ------------------------------------------------------------
 
@@ -91,88 +154,74 @@ class WorldSwitch:
         it becomes the secure vCPU's exit context (the Check-after-Load
         reference) and, for MMIO exits, the shared-vCPU payload.
         """
+        if self._plan_region_count != self.pmp.pool_region_count:
+            self._rebuild_plans()
+        kind = exit_info.get("kind", "unknown")
+        fires = self._exit_fires_mmio if kind.startswith("mmio") else self._exit_fires
+        for fire in fires:
+            fire()
+
         # Hardware trap into M mode (the SM's trap vector): mstatus
         # records the interrupted guest mode, mepc/mcause the context.
-        self._charge(Category.TRAP, self.costs.trap_to_m)
         mstatus = status.encode_trap_entry(hart.csrs.read_raw("mstatus"), hart.mode)
         hart.csrs.write_raw("mstatus", mstatus)
         hart.csrs.write_raw("mepc", vcpu.pc)
         hart.csrs.write_raw("mcause", exit_info.get("cause", 0))
         hart.mode = PrivilegeMode.M
-        self._charge(Category.SM_LOGIC, self.costs.sm_exit_logic)
 
-        self._save_guest_state(hart, vcpu)
+        vcpu.save_from(hart)
         vcpu.exit_context = dict(exit_info)
         cvm.exit_count += 1
-        kind = exit_info.get("kind", "unknown")
         cvm.exit_reasons[kind] = cvm.exit_reasons.get(kind, 0) + 1
-        if exit_info.get("kind", "").startswith("mmio"):
-            self._charge(Category.SM_LOGIC, self.costs.sm_mmio_decode)
 
         shared = cvm.shared_vcpus[vcpu.vcpu_id]
-        if self.use_shared_vcpu:
-            self._publish_exit_fields(shared, exit_info)
-        else:
-            self._publish_full_state(shared, vcpu, exit_info)
+        self._publish_exit_fields(shared, exit_info)
 
-        if self.long_path:
-            self._long_path_leg_exit()
+        # Close the secure pool and drop translations that reach it (the
+        # plan fired the PMP toggle + hfence.gvma charges above).
+        self.pmp.close_pool(hart, charge=False)
+        self.translator.tlb.flush_all()
 
-        # Close the secure pool and drop translations that reach it.
-        self.pmp.close_pool(hart)
-        self.translator.hfence_gvma()
-
-        self._apply_delegation(hart, delegation.NORMAL_MODE)
-        self._swap_to_hyp_context(hart)
+        delegation.NORMAL_MODE.apply(hart)
 
         # mret to the hypervisor: MPP=S, MPV=0.
         mstatus = status.with_mpp(hart.csrs.read_raw("mstatus"), PrivilegeMode.HS.level)
         mstatus &= ~status.MSTATUS_MPV
         hart.csrs.write_raw("mstatus", mstatus)
-        self._charge(Category.TRAP, self.costs.xret)
         hart.mode = status.mret_target(mstatus)
         hart.csrs.write_raw("mstatus", status.encode_mret(mstatus))
         vcpu.state = vcpu.state.__class__.WAITING_HYP
 
     def _publish_exit_fields(self, shared: SharedVcpu, exit_info: dict) -> None:
-        """Shared-vCPU fast path: only the cause-specific registers cross."""
-        fields = {
-            "exit_cause": exit_info.get("cause", 0),
-            "htval": exit_info.get("htval", 0),
-            "htinst": exit_info.get("htinst", 0),
-            "gpr_index": exit_info.get("gpr_index", 0),
-            "gpr_value": exit_info.get("gpr_value", 0),
-        }
+        """Shared-vCPU publish: only the cause-specific registers cross.
+
+        Every exit writes exactly ``len(SharedVcpuFieldsPublished)`` slots
+        (cause-specific fields plus zero-clears of the rest), which is how
+        the exit plan can carry the ``field_copy`` charges.  In the
+        no-shared-vCPU baseline the *entire* sanitised state additionally
+        crosses; the plan carries that as a VALIDATE fire (the
+        sanitising pass), and the slot traffic below still happens -- the
+        exchange page is a strict superset carrier in both designs.
+        """
         kind = exit_info.get("kind", "")
         if kind.startswith("mmio"):
             written = _MMIO_EXIT_FIELDS
+            shared.sm_write("htval", exit_info.get("htval", 0))
+            shared.sm_write("htinst", exit_info.get("htinst", 0))
+            shared.sm_write("gpr_index", exit_info.get("gpr_index", 0))
+            shared.sm_write("gpr_value", exit_info.get("gpr_value", 0))
         elif kind == "shared_fault":
             written = ("exit_cause", "htval")
+            shared.sm_write("htval", exit_info.get("htval", 0))
         else:
             written = ("exit_cause",)
-        for name in written:
-            shared.sm_write(name, fields[name])
-            self._charge(Category.REG_SAVE, self.costs.field_copy)
+        shared.sm_write("exit_cause", exit_info.get("cause", 0))
         # Clear every slot not owned by this exit so stale hypervisor data
         # (or a previous exit's payload) cannot echo back through
         # Check-after-Load.
-        for name in ("htval", "htinst", "gpr_index", "gpr_value", "sepc_advance", "pending_irq"):
+        for name in _CLEARABLE_FIELDS:
             if name not in written:
                 shared.sm_write(name, 0)
-                self._charge(Category.REG_SAVE, self.costs.field_copy)
-
-    def _publish_full_state(self, shared: SharedVcpu, vcpu: SecureVcpu, exit_info: dict) -> None:
-        """Unoptimised baseline: sanitise and copy the *entire* vCPU state.
-
-        This is the no-shared-vCPU design the paper's section V-B.1
-        measures against: every GPR and guest CSR is scrubbed of
-        SM-internal bits and copied into the exchange page -- a strict
-        superset of what the fast path publishes, so the exit-specific
-        fields still cross (the hypervisor needs them to emulate).
-        """
-        field_count = len(vcpu.gprs) + len(GUEST_CSRS)
-        self._charge(Category.VALIDATE, field_count * self.costs.sanitize_field)
-        self._publish_exit_fields(shared, exit_info)
 
     # -- CVM entry ------------------------------------------------------------
 
@@ -182,14 +231,16 @@ class WorldSwitch:
         Returns the validated hypervisor reply (empty when there was no
         exit to reply to, e.g. first entry).
         """
-        # The hypervisor's ECALL traps into M mode.
-        self._charge(Category.TRAP, self.costs.trap_to_m)
+        if self._plan_region_count != self.pmp.pool_region_count:
+            self._rebuild_plans()
+        # The hypervisor's ECALL traps into M mode.  Only the charges up
+        # to the Check-after-Load seam fire here: a refused reply must
+        # leave the ledger exactly where the unfused path would.
+        for fire in self._entry_pre_fires:
+            fire()
         mstatus = status.encode_trap_entry(hart.csrs.read_raw("mstatus"), hart.mode)
         hart.csrs.write_raw("mstatus", mstatus)
         hart.mode = PrivilegeMode.M
-        self._charge(Category.SM_LOGIC, self.costs.ecall_dispatch)
-        self._save_hyp_context(hart)
-        self._charge(Category.SM_LOGIC, self.costs.sm_entry_logic)
 
         shared = cvm.shared_vcpus[vcpu.vcpu_id]
         reply: dict = {}
@@ -215,21 +266,20 @@ class WorldSwitch:
             self._apply_reply(vcpu, reply)
             vcpu.exit_context = None
 
-        if self.long_path:
-            self._long_path_leg_entry()
+        for fire in self._entry_post_fires:
+            fire()
+        vcpu.restore_to(hart)
+        delegation.CVM_MODE.apply(hart)
 
-        self._restore_guest_state(hart, vcpu)
-        self._apply_delegation(hart, delegation.CVM_MODE)
-
-        # Open the secure pool for CVM mode and flush stale translations.
-        self.pmp.open_pool(hart)
-        self.translator.hfence_gvma()
+        # Open the secure pool for CVM mode and flush stale translations
+        # (PMP toggle + hfence.gvma charges fired by the entry plan).
+        self.pmp.open_pool(hart, charge=False)
+        self.translator.tlb.flush_all()
 
         # mret into the guest: MPP=S with MPV=1 selects VS mode.
         mstatus = status.with_mpp(hart.csrs.read_raw("mstatus"), PrivilegeMode.VS.level)
         mstatus |= status.MSTATUS_MPV
         hart.csrs.write_raw("mstatus", mstatus)
-        self._charge(Category.TRAP, self.costs.xret)
         hart.mode = status.mret_target(mstatus)
         hart.csrs.write_raw("mstatus", status.encode_mret(mstatus))
         vcpu.state = vcpu.state.__class__.RUNNING
@@ -239,7 +289,7 @@ class WorldSwitch:
     def _validate_full_state(self, vcpu: SecureVcpu, shared: SharedVcpu) -> dict:
         """Unoptimised baseline: validate every field of the returned state."""
         field_count = len(vcpu.gprs) + len(GUEST_CSRS)
-        self._charge(Category.VALIDATE, field_count * self.costs.validate_field)
+        self.ledger.charge(Category.VALIDATE, field_count * self.costs.validate_field)
         # The usable reply content is the same as the fast path's.
         return self.check_after_load.validate_reply(vcpu, shared)
 
@@ -252,51 +302,20 @@ class WorldSwitch:
                 vcpu.gprs[GPR_NAMES[index - 1]] = reply["gpr_value"]
             # Injecting the result re-derives the target register from the
             # trapped instruction (htinst decode on the entry side too).
-            self._charge(Category.SM_LOGIC, self.costs.sm_mmio_decode)
-            self._charge(Category.REG_SAVE, self.costs.field_copy)
+            self.ledger.charge(Category.SM_LOGIC, self.costs.sm_mmio_decode)
+            self.ledger.charge(Category.REG_SAVE, self.costs.field_copy)
         if reply.get("sepc_advance"):
             vcpu.pc += reply["sepc_advance"]
             vcpu.csrs["sepc"] = vcpu.pc
-            self._charge(Category.REG_SAVE, self.costs.field_copy)
+            self.ledger.charge(Category.REG_SAVE, self.costs.field_copy)
         if reply.get("pending_irq"):
             vcpu.csrs["hvip"] |= reply["pending_irq"]
-            self._charge(Category.REG_SAVE, self.costs.field_copy)
+            self.ledger.charge(Category.REG_SAVE, self.costs.field_copy)
 
-    # -- long-path baseline legs ----------------------------------------------
 
-    def _long_path_leg_exit(self) -> None:
-        """CVM -> secure hypervisor -> SM (two extra transitions).
-
-        Models the CoVE/TwinVisor-style route: the SM first resumes the
-        secure hypervisor (context restore + mret), the secure hypervisor
-        does its own vCPU bookkeeping, then ECALLs back into the SM, which
-        saves the secure hypervisor's context again before continuing the
-        exit toward the host.
-        """
-        self._charge(
-            Category.REG_SAVE,
-            self.costs.hyp_csr_context * self.costs.csr_swap + self.costs.gpr_file_save,
-        )
-        self._charge(Category.TRAP, self.costs.xret)
-        self._charge(Category.HYP_LOGIC, self.costs.sec_hyp_exit_logic)
-        self._charge(Category.TRAP, self.costs.trap_to_m)
-        self._charge(Category.SM_LOGIC, self.costs.ecall_dispatch)
-        self._charge(
-            Category.REG_SAVE,
-            self.costs.hyp_csr_context * self.costs.csr_read + self.costs.gpr_file_save,
-        )
-
-    def _long_path_leg_entry(self) -> None:
-        """SM -> secure hypervisor -> SM on the way into the CVM."""
-        self._charge(
-            Category.REG_SAVE,
-            self.costs.hyp_csr_context * self.costs.csr_swap + self.costs.gpr_file_save,
-        )
-        self._charge(Category.TRAP, self.costs.xret)
-        self._charge(Category.HYP_LOGIC, self.costs.sec_hyp_entry_logic)
-        self._charge(Category.TRAP, self.costs.trap_to_m)
-        self._charge(Category.SM_LOGIC, self.costs.ecall_dispatch)
-        self._charge(
-            Category.REG_SAVE,
-            self.costs.hyp_csr_context * self.costs.csr_read + self.costs.gpr_file_save,
-        )
+#: Slots every exit publishes (cause-specific writes + zero-clears): the
+#: union is always ``exit_cause`` plus the six clearable fields' worth of
+#: traffic, i.e. 7 ``field_copy`` charges, which lets the exit plan fuse
+#: them.  Kept as a tuple (not a bare constant) so the invariant is
+#: auditable against ``SHARED_VCPU_FIELDS``.
+SharedVcpuFieldsPublished = ("exit_cause",) + _CLEARABLE_FIELDS

@@ -1,0 +1,246 @@
+"""Trace-cache equivalence: cached runs must be bit-identical to uncached.
+
+The guest-access trace cache (``repro.mem.tracecache``) is a wall-clock
+optimisation with a hard contract: with ``trace_cache`` on, every ledger
+total, per-category count, TLB statistic, and byte of guest memory must
+match a machine running the per-access loops.  These tests run the same
+workload on a cached and an uncached machine and diff the full
+architectural fingerprint, across strides, sizes, page-crossing shapes,
+first-touch fault storms, timer ticks landing mid-sequence, and
+invalidation by flush and remap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.mem.physmem import PAGE_SIZE
+
+IMAGE = b"trace-cache-equivalence" * 8
+
+
+def _fingerprint(machine):
+    tlb = machine.translator.tlb
+    return {
+        "total": machine.ledger.total,
+        "by_category": machine.ledger.by_category(),
+        "tlb": (tlb.hits, tlb.misses, tlb.flushes, tlb.page_flushes, len(tlb)),
+    }
+
+
+def _page_bytes(machine, session, gva):
+    """Current contents of the page backing ``gva`` (uncharged probe)."""
+    pa, _flags, _levels, _slot = machine.translator.probe_gpa(
+        session.hgatp_root, gva & ~(PAGE_SIZE - 1)
+    )
+    assert pa is not None, f"page at {gva:#x} not mapped"
+    return bytes(machine.dram.read(pa & ~(PAGE_SIZE - 1), PAGE_SIZE))
+
+
+def _run_pair(workload, repeats=1, kind="cvm", check_pages=(), **cfg):
+    """Run ``workload`` on a cached and an uncached machine; diff everything.
+
+    Returns ``(cached_machine, cached_session, workload_results)``.
+    """
+    outcomes = []
+    for trace_cache in (True, False):
+        machine = Machine(MachineConfig(trace_cache=trace_cache, **cfg))
+        if kind == "cvm":
+            session = machine.launch_confidential_vm(image=IMAGE)
+        else:
+            session = machine.launch_normal_vm("equiv")
+        results = [
+            machine.run(session, workload)["workload_result"]
+            for _ in range(repeats)
+        ]
+        outcomes.append((machine, session, results))
+    (cached, cached_session, cached_results) = outcomes[0]
+    (uncached, uncached_session, uncached_results) = outcomes[1]
+    assert cached._trace_cache is not None
+    assert uncached._trace_cache is None
+    assert cached_results == uncached_results
+    assert _fingerprint(cached) == _fingerprint(uncached)
+    for gva in check_pages:
+        assert _page_bytes(cached, cached_session, gva) == _page_bytes(
+            uncached, uncached_session, gva
+        )
+    return cached, cached_session, cached_results
+
+
+class TestSeqEquivalence:
+    @pytest.mark.parametrize(
+        "size,stride,count",
+        [
+            (8, None, 200),            # dense aligned
+            (8, 24, 300),              # unaligned crossings inside pages
+            (8, PAGE_SIZE, 64),        # one access per page, first-touch faults
+            (4, 4, 256),               # sub-word dense
+            (1, 509, 400),             # byte accesses striding across pages
+            (8, PAGE_SIZE + 8, 48),    # page-crossing stride, misaligned pages
+        ],
+    )
+    def test_store_then_load_seq(self, size, stride, count):
+        base_off = 24 << 20
+
+        def workload(ctx):
+            base = ctx.session.layout.dram_base + base_off
+            values = [(i * 2654435761) & 0xFFFF_FFFF for i in range(count)]
+            ctx.store_seq(base, values, size=size, stride=stride)
+            # Same shape twice more: the cached machine records on the
+            # first pass and replays on the later ones.
+            first = ctx.load_seq(base, count, size=size, stride=stride)
+            second = ctx.load_seq(base, count, size=size, stride=stride)
+            third = ctx.load_seq(base, count, size=size, stride=stride)
+            assert first == second == third
+            return first
+
+        step = size if stride is None else stride
+        pages = {base_off + i * step for i in range(count)}
+        cached, session, results = _run_pair(
+            workload,
+            repeats=3,  # cross-run replays hit the all-miss flavor (TLB flushed between runs)
+            check_pages=[
+                0x8000_0000 + off for off in sorted(pages)[:8]
+            ],
+        )
+        mask = (1 << (8 * min(size, 8))) - 1
+        assert results[0][:4] == [(i * 2654435761) & 0xFFFF_FFFF & mask for i in range(4)]
+
+    def test_touch_seq_rotating_working_set(self):
+        """The redis shape: touch a fixed set, then rotating 10-page windows."""
+
+        def workload(ctx):
+            base = ctx.session.layout.dram_base + (64 << 20)
+            pages = [base + i * PAGE_SIZE for i in range(64)]
+            ctx.touch_seq(pages)
+            for request in range(120):
+                offset = (request * 10) % 64
+                ctx.touch_seq(pages[(offset + k) % 64] for k in range(10))
+                ctx.compute(5_000)
+            return ctx.ledger.total
+
+        _run_pair(workload, repeats=2)
+
+    @pytest.mark.parametrize("padding", [1, 3, 17, 999, 65_521])
+    def test_timer_tick_lands_mid_sequence(self, padding):
+        """A tick firing inside a replayed chunk must split it exactly."""
+
+        def workload(ctx):
+            base = ctx.session.layout.dram_base + (32 << 20)
+            # Warm the pages and the trace.
+            warm = ctx.load_seq(base, 256, size=8, stride=PAGE_SIZE // 4)
+            tick = ctx.machine.config.timer_tick_cycles
+            # Park just short of the next tick so it fires mid-replay.
+            until = ctx.machine.clint.read_mtimecmp(ctx.session.hart.hart_id) - ctx.ledger.total
+            ctx.compute(max(1, until - padding))
+            replay = ctx.load_seq(base, 256, size=8, stride=PAGE_SIZE // 4)
+            assert warm == replay
+            return ctx.ledger.total
+
+        _run_pair(workload)
+
+    def test_store_seq_replay_with_fresh_values(self):
+        """Replays must write the *new* values, not the recorded run's."""
+
+        def workload(ctx):
+            base = ctx.session.layout.dram_base + (40 << 20)
+            ctx.store_seq(base, [0xAA] * 32, stride=PAGE_SIZE)
+            ctx.store_seq(base, [0xBB] * 32, stride=PAGE_SIZE)  # replay, new values
+            return ctx.load_seq(base, 32, stride=PAGE_SIZE)
+
+        _, _, results = _run_pair(
+            workload, check_pages=[(40 << 20) + 0x8000_0000]
+        )
+        assert results[0] == [0xBB] * 32
+
+    def test_normal_vm_sequences(self):
+        """Normal VMs take KVM fault paths; the engine must match those too."""
+
+        def workload(ctx):
+            base = ctx.session.layout.dram_base + (8 << 20)
+            ctx.store_seq(base, list(range(96)), stride=PAGE_SIZE // 2)
+            out = ctx.load_seq(base, 96, stride=PAGE_SIZE // 2)
+            out2 = ctx.load_seq(base, 96, stride=PAGE_SIZE // 2)
+            assert out == out2
+            return out
+
+        _, _, results = _run_pair(workload, repeats=2, kind="normal")
+        assert results[0] == list(range(96))
+
+    def test_single_access_fast_path(self):
+        """load/store/read_bytes/write_bytes ride the one-access engine."""
+
+        def workload(ctx):
+            base = ctx.session.layout.dram_base + (48 << 20)
+            for i in range(64):
+                ctx.store(base + i * 8, i * 3)
+            total = sum(ctx.load(base + i * 8) for i in range(64))
+            blob = bytes(range(256)) * 40  # crosses pages
+            ctx.write_bytes(base + 0x3F00, blob)
+            assert ctx.read_bytes(base + 0x3F00, len(blob)) == blob
+            return total
+
+        _, _, results = _run_pair(workload, repeats=2)
+        assert results[0] == sum(i * 3 for i in range(64))
+
+
+class TestInvalidation:
+    def test_remap_invalidates_traces(self):
+        """A table mutation between replays must invalidate the trace."""
+
+        def workload(ctx):
+            base = ctx.session.layout.dram_base + (56 << 20)
+            ctx.store_seq(base, [7] * 16, stride=PAGE_SIZE)
+            first = ctx.load_seq(base, 16, stride=PAGE_SIZE)
+            # Balloon the pages back to the SM (unmaps + scrubs), then
+            # re-touch: the faults must remap fresh zeroed frames and the
+            # stale trace must not resurrect the old PAs.
+            freed = ctx.reclaim_pages(base, 16)
+            assert freed == 16
+            second = ctx.load_seq(base, 16, stride=PAGE_SIZE)
+            return first, second
+
+        _, _, results = _run_pair(workload, check_pages=[(56 << 20) + 0x8000_0000])
+        first, second = results[0]
+        assert first == [7] * 16
+        assert second == [0] * 16
+
+    def test_flush_between_replays(self):
+        """World-switch hfences between runs flip hit traces to miss runs."""
+
+        def workload(ctx):
+            base = ctx.session.layout.dram_base + (20 << 20)
+            out = ctx.load_seq(base, 48, stride=PAGE_SIZE)
+            out2 = ctx.load_seq(base, 48, stride=PAGE_SIZE)
+            assert out == out2
+            return out
+
+        # Each machine.run() exits and re-enters the CVM, flushing the
+        # TLB: run 1 records, later runs must revalidate structurally.
+        cached, _session, _results = _run_pair(workload, repeats=3)
+        assert len(cached._trace_cache) >= 1
+
+    def test_map_generation_bump_forces_revalidation(self):
+        machine = Machine(MachineConfig())
+        session = machine.launch_confidential_vm(image=IMAGE)
+        base = session.layout.dram_base + (12 << 20)
+
+        def workload(ctx):
+            return ctx.load_seq(base, 24, stride=PAGE_SIZE)
+
+        first = machine.run(session, workload)["workload_result"]
+        # Any SM-side table mutation bumps the token; the stale trace must
+        # re-execute (and still produce identical values).
+        machine.monitor.split.map_generation += 1
+        second = machine.run(session, workload)["workload_result"]
+        assert first == second
+
+    def test_non_integral_costs_disable_the_engine(self):
+        import dataclasses
+
+        from repro.cycles import DEFAULT_COSTS
+
+        costs = dataclasses.replace(DEFAULT_COSTS, tlb_hit=0.5)
+        machine = Machine(MachineConfig(costs=costs))
+        assert machine._trace_cache is None
