@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 
+from repro.cycles import Category
 from repro.errors import EcallError, SecurityViolation, TrapRaised
 from repro.isa.privilege import PrivilegeMode
 from repro.mem.physmem import PAGE_SIZE
@@ -269,7 +270,13 @@ class EcallInterface:
     def _read_guest_buffer(self, cvm, gpa: int, length: int) -> bytes:
         if length == 0:
             return b""
-        return self.monitor.dram.read(self._guest_pa(cvm, gpa, length), length)  # zionlint: disable=ZL3 SBI buffer copies ride in the ECALL's fixed dispatch cost; per-byte charging is a golden-affecting ROADMAP change
+        monitor = self.monitor
+        pa = self._guest_pa(cvm, gpa, length)
+        monitor.ledger.charge(Category.COPY, monitor.costs.copy_bytes(length))
+        return monitor.dram.read(pa, length)
 
     def _write_guest_buffer(self, cvm, gpa: int, data: bytes) -> None:
-        self.monitor.dram.write(self._guest_pa(cvm, gpa, len(data)), data)  # zionlint: disable=ZL3 SBI buffer copies ride in the ECALL's fixed dispatch cost; per-byte charging is a golden-affecting ROADMAP change
+        monitor = self.monitor
+        pa = self._guest_pa(cvm, gpa, len(data))
+        monitor.ledger.charge(Category.COPY, monitor.costs.copy_bytes(len(data)))
+        monitor.dram.write(pa, data)
