@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install verify test bench bench-full experiments faults perf lint linkcheck redis-cluster fleet virtio-batch examples clean
+.PHONY: install verify test bench bench-full experiments faults perf perf-compare lint linkcheck redis-cluster fleet virtio-batch examples clean
 
 install:
 	pip install -e .
@@ -27,6 +27,11 @@ experiments:
 # Wall-clock perf suite with cycle-exactness golden check (INTERNALS §11).
 perf:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro perf
+
+# Re-run the perf suite and print per-scenario wall/cycle deltas against
+# the committed BENCH_PERF.json (read before the report is overwritten).
+perf-compare:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro perf --compare BENCH_PERF.json
 
 # zionlint: static trust-boundary/taint/charging analysis (INTERNALS §12).
 # Fails on findings that are neither pragma-suppressed nor baselined.

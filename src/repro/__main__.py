@@ -11,10 +11,14 @@ Commands:
 - ``faults [--seeds N | --seed K] [--rounds R] [-v]`` — run the
   seeded fault-injection campaign (``--seed K`` deterministically
   replays one seed, the failing-seed repro workflow);
-- ``perf [--quick] [--out PATH]`` — wall-clock performance harness:
-  run the fixed scenario suite, emit ``BENCH_PERF.json`` and verify
-  simulated cycle totals against the committed goldens (any deviation
-  means the *model* changed, which an optimization must never do);
+- ``perf [--quick] [--out PATH] [--compare PREV.json] [--runs N]
+  [--gate]`` — wall-clock performance harness: run the fixed scenario
+  suite, emit ``BENCH_PERF.json`` and verify simulated cycle totals
+  against the committed goldens (any deviation means the *model*
+  changed, which an optimization must never do); ``--compare`` prints
+  per-scenario wall/cycle deltas against a previous report, ``--gate``
+  fails on >10% wall-time regression over the committed quick-mode
+  baseline (median of ``--runs``);
 - ``lint [paths] [--json] [--baseline FILE]`` — zionlint, the static
   trust-boundary/taint/charging analyzer for the SM seam (INTERNALS
   §12); exits non-zero on findings that are neither pragma-suppressed
@@ -213,6 +217,9 @@ def _cmd_faults(args) -> int:
 
 
 def _cmd_perf(args) -> int:
+    import json as json_module
+    import pathlib
+
     from repro.bench import perf
 
     only = set(args.only.split(",")) if args.only else None
@@ -221,7 +228,20 @@ def _cmd_perf(args) -> int:
         if unknown:
             print(f"unknown scenarios: {', '.join(sorted(unknown))}")
             return 2
-    runs = perf.run_suite(quick=args.quick, only=only)
+    # Snapshot the comparison report *before* running: --compare and
+    # --out may name the same file (the default workflow diffs against
+    # the committed BENCH_PERF.json, then overwrites it).
+    previous = None
+    if args.compare:
+        try:
+            previous = json_module.loads(pathlib.Path(args.compare).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read comparison report {args.compare}: {exc}")
+            return 2
+    all_runs = [
+        perf.run_suite(quick=args.quick, only=only) for _ in range(args.runs)
+    ]
+    runs = all_runs[0] if args.runs == 1 else perf.median_runs(all_runs)
     for run in runs:
         print(
             f"{run.name:<12} wall {run.wall_seconds:8.3f} s   "
@@ -231,18 +251,62 @@ def _cmd_perf(args) -> int:
     report = perf.build_report(runs, quick=args.quick)
     perf.write_report(report, args.out)
     print(f"report written to {args.out}")
+    if previous is not None:
+        prev_mode = previous.get("mode", "?")
+        if prev_mode != report["mode"]:
+            print(f"compare: note -- previous report is {prev_mode}-mode, "
+                  f"this run is {report['mode']}-mode")
+        print(f"deltas vs {args.compare}:")
+        for name, old_w, new_w, old_c, new_c in perf.compare_reports(previous, report):
+            if old_w is None:
+                print(f"  {name:<12} wall    --    -> {new_w:8.3f} s             "
+                      f"cycles            -- -> {new_c:>14,}")
+                continue
+            wall_pct = (new_w - old_w) / old_w * 100 if old_w else 0.0
+            print(
+                f"  {name:<12} wall {old_w:8.3f} -> {new_w:8.3f} s "
+                f"({wall_pct:+6.1f}%)   "
+                f"cycles {old_c:>14,} -> {new_c:>14,} ({new_c - old_c:+,})"
+            )
     if args.update_goldens:
         perf.update_goldens(runs, quick=args.quick)
         print(f"goldens updated in {perf.GOLDEN_PATH}")
+        if args.update_baseline:
+            perf.write_report(report, perf.BASELINE_PATH)
+            print(f"baseline updated in {perf.BASELINE_PATH}")
         return 0
-    if args.no_golden_check or only:
+    if args.update_baseline:
+        perf.write_report(report, perf.BASELINE_PATH)
+        print(f"baseline updated in {perf.BASELINE_PATH}")
         return 0
-    problems = perf.check_goldens(runs, quick=args.quick)
-    for problem in problems:
-        print(f"GOLDEN MISMATCH: {problem}")
-    if not problems:
-        print("golden check: all simulated cycle totals match")
-    return 1 if problems else 0
+    exit_code = 0
+    if not (args.no_golden_check or only):
+        problems = perf.check_goldens(runs, quick=args.quick)
+        for problem in problems:
+            print(f"GOLDEN MISMATCH: {problem}")
+        if not problems:
+            print("golden check: all simulated cycle totals match")
+        exit_code = 1 if problems else exit_code
+    if args.gate:
+        try:
+            baseline = json_module.loads(perf.BASELINE_PATH.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"perf gate: cannot read baseline {perf.BASELINE_PATH}: {exc}")
+            return 1
+        if baseline.get("mode") != report["mode"]:
+            print(f"perf gate: baseline is {baseline.get('mode')}-mode but "
+                  f"this run is {report['mode']}-mode")
+            return 1
+        gate_problems = perf.check_gate(runs, baseline)
+        for problem in gate_problems:
+            print(f"PERF GATE: {problem}")
+        if not gate_problems:
+            print(
+                f"perf gate: all wall times within {perf.GATE_THRESHOLD:.0%} "
+                f"of baseline (median of {args.runs})"
+            )
+        exit_code = 1 if gate_problems else exit_code
+    return exit_code
 
 
 def _cmd_virtio_batch(args) -> int:
@@ -440,6 +504,20 @@ def main(argv=None) -> int:
                       help="measure only; skip the cycle-exactness gate")
     perf.add_argument("--update-goldens", action="store_true",
                       help="re-record golden cycle totals (model changes only)")
+    perf.add_argument("--compare", metavar="PREV.json",
+                      help="print per-scenario wall/cycle deltas against a "
+                           "previous BENCH_PERF.json (read before --out is "
+                           "overwritten, so both may name the same file)")
+    perf.add_argument("--runs", type=int, default=1, metavar="N",
+                      help="repeat the suite N times and report the "
+                           "per-scenario median wall time (default 1)")
+    perf.add_argument("--gate", action="store_true",
+                      help="fail when any scenario's wall time regresses "
+                           ">10%% over the committed quick-mode baseline "
+                           "(perf_baseline_quick.json)")
+    perf.add_argument("--update-baseline", action="store_true",
+                      help="re-record the committed wall-clock baseline "
+                           "for the perf gate from this run")
     perf.set_defaults(func=_cmd_perf)
     virtio_batch = sub.add_parser(
         "virtio-batch",

@@ -47,6 +47,15 @@ from repro.machine import Machine, MachineConfig
 #: pre-optimization tree; see module docstring).
 GOLDEN_PATH = pathlib.Path(__file__).with_name("perf_goldens.json")
 
+#: Committed quick-mode wall-clock baseline for the CI perf gate
+#: (re-recorded with ``--quick --update-baseline`` when the expected
+#: performance envelope legitimately moves).
+BASELINE_PATH = pathlib.Path(__file__).with_name("perf_baseline_quick.json")
+
+#: The perf gate fails when a scenario's median wall time regresses by
+#: more than this fraction over the committed baseline.
+GATE_THRESHOLD = 0.10
+
 #: Scenario parameters at full scale (the documented profiles) and quick
 #: scale (CI smoke: same code paths, ~5x less work).
 FULL_PARAMS = {
@@ -441,6 +450,77 @@ def check_goldens(runs, quick: bool, goldens: dict | None = None) -> list:
                 f"golden {want} (drift {run.total_cycles - want:+d}); the "
                 "model changed -- update perf_goldens.json only if that is "
                 "intentional"
+            )
+    return problems
+
+
+def median_runs(all_runs) -> list:
+    """Collapse repeated suite executions to one run per scenario.
+
+    Picks, independently per scenario, the run with the median wall time
+    across the repeats -- the robust center the CI gate compares, immune
+    to a single noisy neighbour on the runner.  Cycle totals are
+    identical across repeats (the model is deterministic), so medianing
+    only ever selects between equal-cycle measurements.
+    """
+    by_name: dict = {}
+    order: list = []
+    for runs in all_runs:
+        for run in runs:
+            if run.name not in by_name:
+                order.append(run.name)
+            by_name.setdefault(run.name, []).append(run)
+    chosen = []
+    for name in order:
+        candidates = sorted(by_name[name], key=lambda run: run.wall_seconds)
+        chosen.append(candidates[len(candidates) // 2])
+    return chosen
+
+
+def compare_reports(previous: dict, current: dict) -> list:
+    """Per-scenario wall/cycle deltas between two ``BENCH_PERF`` reports.
+
+    Returns rows of ``(name, prev_wall, cur_wall, prev_cycles,
+    cur_cycles)`` in the current report's scenario order; a scenario
+    missing from the previous report carries ``None`` for its prev
+    fields.  Callers decide presentation (the CLI prints a delta table).
+    """
+    prev = previous.get("scenarios", {})
+    rows = []
+    for name, cur in current.get("scenarios", {}).items():
+        old = prev.get(name)
+        rows.append((
+            name,
+            old["wall_seconds"] if old else None,
+            cur["wall_seconds"],
+            old["total_cycles"] if old else None,
+            cur["total_cycles"],
+        ))
+    return rows
+
+
+def check_gate(runs, baseline: dict, threshold: float = GATE_THRESHOLD) -> list:
+    """Wall-clock regression gate against a committed baseline report.
+
+    Returns human-readable failure strings (empty == pass): a scenario
+    regressing more than ``threshold`` over its baseline wall time, or
+    one with no baseline at all (baselines are recorded deliberately,
+    like goldens).  Faster-than-baseline runs pass silently -- the gate
+    is one-sided; improvements land by re-recording the baseline.
+    """
+    scenarios = baseline.get("scenarios", {})
+    problems = []
+    for run in runs:
+        base = scenarios.get(run.name)
+        if base is None:
+            problems.append(f"{run.name}: no baseline wall time recorded")
+            continue
+        limit = base["wall_seconds"] * (1.0 + threshold)
+        if run.wall_seconds > limit:
+            problems.append(
+                f"{run.name}: wall {run.wall_seconds:.3f}s exceeds baseline "
+                f"{base['wall_seconds']:.3f}s by more than {threshold:.0%} "
+                f"(limit {limit:.3f}s)"
             )
     return problems
 
