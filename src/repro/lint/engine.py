@@ -1,6 +1,9 @@
 """zionlint engine: file discovery, rule routing, reporting, CLI.
 
-Domain routing mirrors the trust structure the rules encode:
+The v2 engine parses every discovered file into one shared
+:class:`repro.lint.callgraph.Project` (classes, methods, inferred
+receiver types) before any rule runs, so the flow rules see across
+call boundaries.  Domain routing mirrors the trust structure:
 
 =========  =======================================  =====================
 domain     directories                              rules
@@ -8,13 +11,14 @@ domain     directories                              rules
 untrusted  ``hyp/``, ``guest/``, ``workloads/``,    ZL1 (+ ZL2 on ipc/,
            ``ipc/``                                 whose ring reads are
                                                     shared-memory loads)
-sm         ``sm/``                                  ZL2, ZL3, ZL4
-mem        ``mem/``                                 ZL3
+sm         ``sm/``                                  ZL2, ZL3, ZL4, ZL5
+hyp        ``hyp/``                                 ZL5 (plus ZL1 above)
+mem/isa    ``mem/``, ``isa/``                       ZL3
+simulated  sm/hyp/mem/isa/ipc/guest                 ZL5 determinism
 =========  =======================================  =====================
 
-Everything else (``isa/``, ``cycles/``, ``bench/``, the machine glue,
-and this package itself) is currently out of scope -- extending ZL3 to
-``isa/`` is a ROADMAP follow-up.  ZL0 (pragma hygiene) runs everywhere
+Everything else (``cycles/``, ``bench/``, the machine glue, and this
+package itself) is out of scope.  ZL0 (pragma hygiene) runs everywhere
 a pragma appears.
 
 Exit status: 0 when every finding is pragma-suppressed or baselined,
@@ -29,15 +33,26 @@ import json
 import sys
 from pathlib import Path
 
-from repro.lint import boundary, charging, pairing, taint
+from repro.lint import boundary, charging, concurrency, dataflow, pairing
+from repro.lint.callgraph import Project
 from repro.lint.findings import Finding, PragmaMap, load_baseline, save_baseline
 
 UNTRUSTED_DIRS = {"hyp", "guest", "workloads", "ipc"}
 SM_DIRS = {"sm"}
 MEM_DIRS = {"mem"}
-_KNOWN_DIRS = UNTRUSTED_DIRS | SM_DIRS | MEM_DIRS
+ISA_DIRS = {"isa"}
+_KNOWN_DIRS = UNTRUSTED_DIRS | SM_DIRS | MEM_DIRS | ISA_DIRS
 
-RULE_ORDER = ("ZL0", "ZL1", "ZL2", "ZL3", "ZL4")
+#: Domains whose code the ZL2 taint rule checks directly.
+TAINTED_DOMAINS = {"sm", "ipc"}
+#: Domains under the ZL3 charging rule (see also dataflow's call-site filter).
+CHARGED_DOMAINS = {"sm", "mem", "isa"}
+#: Domains under the ZL5 seam-discipline sub-rule.
+STATE_DOMAINS = {"sm", "hyp"}
+#: Simulated paths under the ZL5 determinism sub-rule.
+SIM_DOMAINS = {"sm", "hyp", "mem", "isa", "ipc", "guest"}
+
+RULE_ORDER = ("ZL0", "ZL1", "ZL2", "ZL3", "ZL4", "ZL5")
 
 
 def _package_root() -> Path:
@@ -123,26 +138,39 @@ def run_lint(paths=None, baseline_keys=frozenset()) -> LintReport:
     pragma_maps: list[tuple[PragmaMap, Path]] = []
     sm_modules: list[tuple[ast.Module, str]] = []
 
+    # Pass 1: parse everything into the shared project model, so the
+    # flow rules can resolve receivers and calls across files.
+    project = Project()
+    parsed: list[tuple[Path, str, ast.Module, PragmaMap]] = []
     for path in files:
         source = path.read_text(encoding="utf-8")
         display = _display_path(path)
         tree = ast.parse(source, filename=str(path))
         pragmas = PragmaMap(source, display)
+        parsed.append((path, display, tree, pragmas))
+        project.add_module(display, tree)
+    project.finalize()
+    summaries = dataflow.SummaryTable(project)
+    analysis = dataflow.ChargingAnalysis(project)
+
+    # Pass 2: route each module through its domain's rules.
+    for path, display, tree, pragmas in parsed:
         pragma_maps.append((pragmas, path))
         raw.extend(pragmas.meta_findings())
 
         domain = _domain_of(path)
         if domain in UNTRUSTED_DIRS:
             raw.extend(boundary.check(tree, display))
-        if domain == "ipc":
-            raw.extend(taint.check(tree, display))
+        if domain in TAINTED_DOMAINS:
+            raw.extend(dataflow.check_taint(project, summaries, display))
         if domain in SM_DIRS:
-            raw.extend(taint.check(tree, display))
             sm_modules.append((tree, display))
-            if path.name not in charging.EXEMPT_MODULES:
-                raw.extend(charging.check(tree, display))
-        if domain in MEM_DIRS and path.name not in charging.EXEMPT_MODULES:
-            raw.extend(charging.check(tree, display))
+        if domain in CHARGED_DOMAINS and path.name not in charging.EXEMPT_MODULES:
+            raw.extend(dataflow.check_charging(project, analysis, display))
+        if domain in STATE_DOMAINS:
+            raw.extend(concurrency.check_state(tree, display))
+        if domain in SIM_DOMAINS:
+            raw.extend(concurrency.check_determinism(tree, display))
 
     raw.extend(pairing.check_modules(sm_modules))
     raw.sort(key=lambda f: (f.path, f.line, f.rule, f.message))

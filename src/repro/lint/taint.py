@@ -34,7 +34,14 @@ This module is an **intraprocedural** approximation of that rule:
 PMP-checked bus accessors (``cpu_read*``/``cpu_write*``/``dma_*``) are
 deliberately *not* sinks: hardware validates those addresses, which is
 the architectural difference between the checked bus and raw M-mode
-access.  Interprocedural flow is a ROADMAP follow-up.
+access.
+
+This module is the **intraprocedural base walker**.  The v2 engine runs
+:class:`repro.lint.dataflow._InterTaint` instead, which subclasses
+:class:`_FunctionTaint` and fills in the call-boundary hooks
+(``_call_taint``/``_attribute_taint``/``_saw_return``/``_validated``)
+with function summaries, so taint follows helper calls and ``@property``
+reads over shared memory instead of dropping at the boundary.
 """
 
 from __future__ import annotations
@@ -53,17 +60,20 @@ ENTRY_PREFIX = "ecall_"
 UNTAINTED_PARAMS = {"self", "cls", "hart", "monitor", "machine"}
 
 #: Calls whose *result* is a load from hypervisor-writable memory.
-SOURCE_CALLS = {"sm_read", "hyp_read", "try_recv", "_read_wrapped"}
+#: ``load`` is the shared-context accessor the IPC rings read their
+#: counters and event words through (``ctx.load``).
+SOURCE_CALLS = {"sm_read", "hyp_read", "try_recv", "_read_wrapped", "load"}
 
 #: Pure converters that preserve taint across a call boundary.
 PROPAGATING_CALLS = {"from_bytes"}
 
-#: Exact call names that validate/clamp their arguments.
+#: Exact call names that validate/clamp their arguments.  (``_guest_pa``
+#: was hardcoded here in v1; v2 derives its validating effect from its
+#: own guards via function summaries in :mod:`repro.lint.dataflow`.)
 SANITIZER_NAMES = {
     "_cvm",
     "require_state",
     "register_region",
-    "_guest_pa",
     "min",
     "max",
 }
@@ -121,6 +131,9 @@ class _FunctionTaint:
         self.findings: list[Finding] = []
         #: name -> "arg" | "shared"
         self.taint: dict[str, str] = {}
+        #: whether shared-memory load calls seed taint (summary runs in
+        #: :mod:`repro.lint.dataflow` turn this off to isolate one param)
+        self.shared_sources = True
         name = fn.name
         if name.startswith(ENTRY_PREFIX) or name in ENTRY_FUNCTIONS:
             args = fn.args
@@ -143,10 +156,10 @@ class _FunctionTaint:
         if isinstance(node, ast.Call):
             fname = call_name(node)
             if fname in SOURCE_CALLS:
-                return "shared"
+                return "shared" if self.shared_sources else None
             if fname in PROPAGATING_CALLS:
                 return self._exprs_taint(node.args)
-            return None  # call-boundary opacity
+            return self._call_taint(node)
         if isinstance(node, ast.BinOp):
             if isinstance(node.op, ast.Mod):
                 return None  # modulo clamps to the divisor's span
@@ -164,9 +177,26 @@ class _FunctionTaint:
         if isinstance(node, (ast.Tuple, ast.List)):
             return self._exprs_taint(node.elts)
         if isinstance(node, ast.Attribute):
-            return None  # attribute loads are fresh objects, not the name's taint
+            # Attribute loads are fresh objects, not the name's taint --
+            # unless they resolve to a @property over shared memory (the
+            # interprocedural walker overrides this hook).
+            return self._attribute_taint(node)
         if isinstance(node, ast.Starred):
             return self._expr_taint(node.value)
+        return None
+
+    def _attribute_taint(self, node: ast.Attribute) -> str | None:
+        """Hook: taint of an attribute load (default: clean)."""
+        return None
+
+    def _call_taint(self, node: ast.Call) -> str | None:
+        """Taint of an unrecognised call result.
+
+        The base (v1) walker is call-boundary opaque: any call not in
+        :data:`SOURCE_CALLS`/:data:`PROPAGATING_CALLS` returns clean.
+        The interprocedural walker in :mod:`repro.lint.dataflow`
+        overrides this with function-summary lookups.
+        """
         return None
 
     def _exprs_taint(self, nodes) -> str | None:
@@ -192,6 +222,9 @@ class _FunctionTaint:
                 def_line=self.fn.lineno,
             )
         )
+
+    def _saw_return(self, kind: str | None) -> None:
+        """Hook: a ``return <expr>`` whose value has taint ``kind``."""
 
     def _tainted_names(self, node: ast.AST) -> list[str]:
         return sorted(n for n in names_in(node) if n in self.taint)
@@ -242,13 +275,22 @@ class _FunctionTaint:
                             f"M-mode memory access '{fname}'",
                         )
 
+    def _validated(self, name: str) -> None:
+        """One name was validated (guard or sanitizer): clean it.
+
+        Split out so the summary walker in :mod:`repro.lint.dataflow`
+        can distinguish an *explicitly validated* parameter from one
+        that merely went unused.
+        """
+        self.taint.pop(name, None)
+
     def _apply_sanitizers(self, node: ast.AST) -> None:
         """Names passed to validator calls are clean afterwards."""
         for sub in ast.walk(node):
             if isinstance(sub, ast.Call) and _is_sanitizer(call_name(sub)):
                 for arg in [*sub.args, *[k.value for k in sub.keywords]]:
                     for name in names_in(arg):
-                        self.taint.pop(name, None)
+                        self._validated(name)
 
     # -- statement walk ----------------------------------------------------
 
@@ -306,6 +348,8 @@ class _FunctionTaint:
             self._walk_body(stmt.orelse)
             self._walk_body(stmt.finalbody)
         elif isinstance(stmt, (ast.Return, ast.Expr, ast.Raise, ast.Assert, ast.Delete)):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                self._saw_return(self._expr_taint(stmt.value))
             for value in ast.iter_child_nodes(stmt):
                 self._check_expr_sinks(value)
                 self._apply_sanitizers(value)
@@ -347,7 +391,7 @@ class _FunctionTaint:
             # The Check-after-Load shape itself: testing a tainted value
             # and rejecting on failure validates it for the fall-through.
             for name in names_in(stmt.test):
-                self.taint.pop(name, None)
+                self._validated(name)
             self._walk_body(stmt.body)
             return
         hot = sorted(

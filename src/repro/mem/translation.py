@@ -101,7 +101,7 @@ class AddressTranslator:
         Raises the guest-page fault for ``access`` when unmapped or when
         the leaf lacks the needed permission.
         """
-        result = self.sv39x4.walk(self._accessor, hgatp_root, gpa)  # zionlint: disable=ZL3 per-PTE cost is charged inside the walker accessor (_RawAccessor.read_u64)
+        result = self.sv39x4.walk(self._accessor, hgatp_root, gpa)
         if result is None or not result.flags & access.required_pte_bit:
             raise TrapRaised(
                 guest_page_fault_for(access),
@@ -130,7 +130,7 @@ class AddressTranslator:
         generic per-access path with nothing to undo.
         """
         sv = self.sv39x4
-        read_u64 = self.bus.dram.read_u64  # zionlint: disable=ZL3 probe only; the engine charges the committed walk's levels in bulk
+        read_u64 = self.bus.dram.read_u64
         shifts = sv._shifts
         masks = sv._masks
         spans = sv._spans
@@ -138,7 +138,7 @@ class AddressTranslator:
         table = hgatp_root
         for depth in range(sv.levels):
             slot = table + 8 * ((gpa >> shifts[depth]) & masks[depth])
-            pte = read_u64(slot)
+            pte = read_u64(slot)  # zionlint: disable=ZL3 probe only: no committed outcome yet; each caller charges levels*page_walk_level in bulk once it commits (batched engine and fused SM fault path both do)
             if not pte & 1:  # PTE_V
                 return None, 0, depth + 1, slot if depth == last else 0
             if pte & 0b1110:  # leaf (R|W|X)

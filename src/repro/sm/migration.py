@@ -67,7 +67,7 @@ def export_cvm(monitor, cvm_id: int, key: bytes) -> bytes:
 
     class Raw:
         def read_u64(self, addr):
-            return monitor.dram.read_u64(addr)  # zionlint: disable=ZL3 export-side table walk; migration cycles are outside the paper's cost model (charged as one bulk copy below)
+            return monitor.dram.read_u64(addr)
 
     pages = []
     for gpa, pa, _flags, _level in Sv39x4().iter_leaves(Raw(), cvm.hgatp_root):

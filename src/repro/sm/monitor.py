@@ -544,10 +544,8 @@ class SecureMonitor:
             )
         self.dram.zero_range(pa, PAGE_SIZE)
         page_gpa = gpa & ~(PAGE_SIZE - 1)
-        self.dram.write_u64(leaf_slot, pte_pack(pa, _PRIVATE_LEAF_FLAGS))  # zionlint: disable=ZL3 the PTE install is charged via the fused map-walk charge below
-        split = self.split
-        split.map_generation += 1
-        split._charge_map_walk()
+        self.dram.write_u64(leaf_slot, pte_pack(pa, _PRIVATE_LEAF_FLAGS))
+        self.split.note_external_leaf_install()
         self.translator.sfence_page(cvm.vmid, page_gpa)
         self.fault_stage_counts[AllocStage.PAGE_CACHE] += 1
         return True

@@ -96,6 +96,18 @@ class SplitTableManager:
         cvm.shared_subtrees[root_index] = table_pa
         self.map_generation += 1
 
+    def note_external_leaf_install(self) -> None:
+        """Seam for PTE installs performed outside this manager.
+
+        The monitor's fused fault path writes the leaf PTE itself (it
+        already holds the probed slot address), but the map epoch and
+        the walk charge belong to the split-table manager: every writer
+        of ``map_generation`` must be a method of its owner, or the SMP
+        refactor cannot wrap the epoch in a lock (ZL5).
+        """
+        self.map_generation += 1
+        self._charge_map_walk()
+
     def _validate_subtree(self, table_pa: int, depth: int) -> None:
         """Reject any existing PTE in a donated subtree that reaches the pool."""
         for index in range(512):
@@ -233,7 +245,7 @@ class _RawAccessor:
         self._dram = dram
 
     def read_u64(self, addr: int) -> int:
-        return self._dram.read_u64(addr)  # zionlint: disable=ZL3 PTE traffic is charged in bulk via _charge_map_walk at every map/unmap call site
+        return self._dram.read_u64(addr)
 
     def write_u64(self, addr: int, value: int) -> None:
-        self._dram.write_u64(addr, value)  # zionlint: disable=ZL3 PTE traffic is charged in bulk via _charge_map_walk at every map/unmap call site
+        self._dram.write_u64(addr, value)

@@ -117,11 +117,11 @@ class SharedVcpu:
 
     def sm_write(self, field: str, value: int) -> None:
         """SM-side (M-mode, unchecked) field write."""
-        self._dram_write(self._slots[field], value)  # zionlint: disable=ZL3 the world switch charges field_copy per field at its call sites
+        self._dram_write(self._slots[field], value)  # zionlint: disable=ZL3 exit-plan writes: the world switch's precompiled plans carry a fused field_copy charge in their fire() closures, which caller-side analysis cannot name-match
 
     def sm_read(self, field: str) -> int:
         """SM-side (M-mode, unchecked) field read."""
-        return self._dram_read(self._slots[field])  # zionlint: disable=ZL3 CheckAfterLoad/world switch charge per-field costs at their call sites
+        return self._dram_read(self._slots[field])
 
     # -- hypervisor side (PMP-checked) -------------------------------------
 
