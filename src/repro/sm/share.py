@@ -109,9 +109,18 @@ class SplitTableManager:
         self._charge_map_walk()
 
     def _validate_subtree(self, table_pa: int, depth: int) -> None:
-        """Reject any existing PTE in a donated subtree that reaches the pool."""
+        """Reject any existing PTE in a donated subtree that reaches the pool.
+
+        The sweep reads all 512 PTEs of the donated table; that is real
+        modelled DRAM traffic, charged in bulk up front (per-PTE charger
+        calls were measurable on the link path, and the loop never exits
+        early without raising).
+        """
+        self._ledger.charge(
+            Category.PAGE_WALK, 512 * self._costs.page_walk_level
+        )
         for index in range(512):
-            pte = self._dram.read_u64(table_pa + 8 * index)  # zionlint: disable=ZL3 donated-subtree validation is outside the paper's cost model; charging it is a golden-affecting ROADMAP change
+            pte = self._dram.read_u64(table_pa + 8 * index)
             if not pte & 1:
                 continue
             target = pte_target(pte)
