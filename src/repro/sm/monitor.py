@@ -271,10 +271,16 @@ class SecureMonitor:
         self._charge_ecall()
         cvm = self._cvm(cvm_id)
         cvm.require_state(CvmState.CREATED, CvmState.FINALIZED, CvmState.RUNNING)
-        # The shared root slot held no translation before the link (the SM
-        # never maps the shared half), so there is no stale entry to
-        # flush; flushing on *re*-link is a ROADMAP model change.
-        self.split.link_shared_subtree(cvm, root_index, table_pa)  # zionlint: disable=ZL4 first link of an empty shared root slot: no prior translation can be cached
+        # A first link installs into an empty shared root slot (the SM
+        # never maps the shared half), so nothing stale can be cached.
+        # A *re*-link swaps out a live subtree, and any translation the
+        # hart walked through the old table may still sit in the TLB --
+        # exactly the stale-translation window ZL4 exists for -- so the
+        # swap is fenced by VMID.
+        relink = root_index in cvm.shared_subtrees
+        self.split.link_shared_subtree(cvm, root_index, table_pa)
+        if relink:
+            self.translator.hfence_gvma(cvm.vmid)
 
     def ecall_suspend(self, cvm_id: int) -> None:
         """Park a runnable CVM (required before migration export)."""

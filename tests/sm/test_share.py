@@ -122,3 +122,41 @@ def test_shared_leaf_safety_predicate(env):
     pool_base = machine.monitor.pool.regions[0][0]
     assert not split.shared_leaf_is_safe(pool_base)
     assert split.shared_leaf_is_safe(machine.config.dram_base + (512 << 20))
+
+
+def test_relink_shared_subtree_flushes_stale_translations(env):
+    """Swapping a live shared subtree must fence the old table's entries."""
+    machine, session, split, cvm = env
+    monitor = machine.monitor
+    tlb = monitor.translator.tlb
+    root_index, old_table = next(iter(cvm.shared_subtrees.items()))
+    # A translation the hart walked through the soon-to-be-replaced
+    # subtree, still sitting in the TLB when the host swaps tables.
+    vpage = cvm.layout.shared_base >> 12
+    tlb.insert(cvm.vmid, vpage, 0x1234, 0)
+    assert tlb.lookup(cvm.vmid, vpage) is not None
+
+    new_table = machine.host_allocator.alloc()
+    machine.dram.zero_range(new_table, PAGE_SIZE)
+    monitor.ecall_link_shared_subtree(cvm.cvm_id, root_index, new_table)
+
+    assert cvm.shared_subtrees[root_index] == new_table
+    assert new_table != old_table
+    assert tlb.lookup(cvm.vmid, vpage) is None
+
+
+def test_first_link_of_empty_slot_does_not_flush(env):
+    """A first link installs into an empty slot: nothing stale to fence."""
+    machine, session, split, cvm = env
+    monitor = machine.monitor
+    tlb = monitor.translator.tlb
+    fresh_index = max(cvm.shared_subtrees) + 1
+    vpage = cvm.layout.shared_base >> 12
+    tlb.insert(cvm.vmid, vpage, 0x1234, 0)
+
+    table = machine.host_allocator.alloc()
+    machine.dram.zero_range(table, PAGE_SIZE)
+    monitor.ecall_link_shared_subtree(cvm.cvm_id, fresh_index, table)
+
+    assert cvm.shared_subtrees[fresh_index] == table
+    assert tlb.lookup(cvm.vmid, vpage) is not None
