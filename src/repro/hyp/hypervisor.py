@@ -97,7 +97,7 @@ class Hypervisor:
         """Allocate a normal VM and its stage-2 root in normal memory."""
         vm = NormalVm(name, layout)
         root = self.allocator.alloc(size=16 * 1024, align=16 * 1024)
-        self.bus.dram.zero_range(root, 16 * 1024)
+        self.bus.cpu_zero_range(hart, root, 16 * 1024)
         vm.hgatp_root = root
         self.normal_vms.append(vm)
         return vm
@@ -148,7 +148,7 @@ class Hypervisor:
         self.ledger.charge(Category.HYP_LOGIC, self.costs.kvm_fault_fixed)
         page_gpa = gpa & ~(PAGE_SIZE - 1)
         pa = self.allocator.alloc()
-        self.bus.dram.zero_range(pa, PAGE_SIZE)
+        self.bus.cpu_zero_range(hart, pa, PAGE_SIZE)
         self.ledger.charge(Category.HYP_LOGIC, self.costs.zero_bytes(PAGE_SIZE))
         flags = PTE_R | PTE_W | PTE_X | PTE_U | PTE_D
         self._sv39x4.map(
@@ -157,7 +157,7 @@ class Hypervisor:
             page_gpa,
             pa,
             flags,
-            alloc_table=self._alloc_table_page,
+            alloc_table=lambda: self._alloc_table_page(hart),
         )
         self.map_generation += 1
         self.ledger.charge(Category.HYP_LOGIC, self.costs.kvm_pte_install)
@@ -165,9 +165,9 @@ class Hypervisor:
         vm.fault_count += 1
         return pa
 
-    def _alloc_table_page(self) -> int:
+    def _alloc_table_page(self, hart) -> int:
         pa = self.allocator.alloc()
-        self.bus.dram.zero_range(pa, PAGE_SIZE)
+        self.bus.cpu_zero_range(hart, pa, PAGE_SIZE)
         return pa
 
     # ------------------------------------------------------------------
@@ -198,7 +198,7 @@ class Hypervisor:
 
         for vcpu_id in range(vcpu_count):
             page = self.allocator.alloc()
-            self.bus.dram.zero_range(page, PAGE_SIZE)
+            self.bus.cpu_zero_range(hart, page, PAGE_SIZE)
             monitor.ecall_assign_shared_vcpu(cvm_id, vcpu_id, page)
             handle.shared_vcpu_pages[vcpu_id] = page
 
@@ -226,7 +226,7 @@ class Hypervisor:
         self.cvm_handles[cvm_id] = handle
         for vcpu_id in range(descriptor.vcpu_count):
             page = self.allocator.alloc()
-            self.bus.dram.zero_range(page, PAGE_SIZE)
+            self.bus.cpu_zero_range(hart, page, PAGE_SIZE)
             monitor.ecall_assign_shared_vcpu(cvm_id, vcpu_id, page)
             handle.shared_vcpu_pages[vcpu_id] = page
         window = shared_window if shared_window is not None else 4 << 20
@@ -242,7 +242,7 @@ class Hypervisor:
         accessor = _HypAccessor(self.bus, hart)
         root_index = layout.shared_base >> 30
         subtree = self.allocator.alloc()
-        self.bus.dram.zero_range(subtree, PAGE_SIZE)
+        self.bus.cpu_zero_range(hart, subtree, PAGE_SIZE)
         handle.shared_subtrees[root_index] = subtree
         monitor.ecall_link_shared_subtree(handle.cvm_id, root_index, subtree)
 
@@ -252,9 +252,9 @@ class Hypervisor:
         flags = PTE_R | PTE_W | PTE_U | PTE_D
         for offset in range(0, window, PAGE_SIZE):
             gpa = layout.shared_base + offset
-            self._map_in_subtree(accessor, subtree, gpa, backing + offset, flags)
+            self._map_in_subtree(accessor, hart, subtree, gpa, backing + offset, flags)
 
-    def _map_in_subtree(self, accessor, subtree_pa: int, gpa: int, pa: int, flags: int) -> None:
+    def _map_in_subtree(self, accessor, hart, subtree_pa: int, gpa: int, pa: int, flags: int) -> None:
         """Map a page under a shared level-1 table the hypervisor owns.
 
         The subtree root covers 1 GiB (a stage-2 root slot); levels below
@@ -264,7 +264,7 @@ class Hypervisor:
         slot = subtree_pa + 8 * level1_index
         pte = accessor.read_u64(slot)
         if not pte & 1:
-            leaf_table = self._alloc_table_page()
+            leaf_table = self._alloc_table_page(hart)
             accessor.write_u64(slot, (leaf_table >> 12) << 10 | 1)
             pte = accessor.read_u64(slot)
         leaf_table = (pte >> 10) << 12
@@ -288,11 +288,11 @@ class Hypervisor:
         if subtree is None:
             raise ValueError(f"no shared subtree covers GPA {gpa:#x}")
         self.ledger.charge(Category.PAGE_WALK, 2 * self.costs.page_walk_level)
-        level1_pte = self.bus.dram.read_u64(subtree + 8 * ((gpa >> 21) & 0x1FF))
+        level1_pte = self.bus.cpu_read_u64(self.hart, subtree + 8 * ((gpa >> 21) & 0x1FF))
         if not level1_pte & 1:
             raise ValueError(f"shared GPA {gpa:#x} beyond the premapped window")
         leaf_table = (level1_pte >> 10) << 12
-        leaf_pte = self.bus.dram.read_u64(leaf_table + 8 * ((gpa >> 12) & 0x1FF))
+        leaf_pte = self.bus.cpu_read_u64(self.hart, leaf_table + 8 * ((gpa >> 12) & 0x1FF))
         if not leaf_pte & 1:
             raise ValueError(f"shared GPA {gpa:#x} beyond the premapped window")
         return ((leaf_pte >> 10) << 12) | (gpa & (PAGE_SIZE - 1))
@@ -351,10 +351,10 @@ class Hypervisor:
             raise ValueError(f"no shared subtree covers GPA {gpa:#x}")
         page_gpa = gpa & ~(PAGE_SIZE - 1)
         pa = self.allocator.alloc()
-        self.bus.dram.zero_range(pa, PAGE_SIZE)
+        self.bus.cpu_zero_range(hart, pa, PAGE_SIZE)
         accessor = _HypAccessor(self.bus, hart)
         flags = PTE_R | PTE_W | PTE_U | PTE_D
-        self._map_in_subtree(accessor, subtree, page_gpa, pa, flags)
+        self._map_in_subtree(accessor, hart, subtree, page_gpa, pa, flags)
         self.translator.sfence_page(0, page_gpa)
 
     def service_plic(self, hart, cvm=None, vcpu_id: int = 0, machine=None) -> int:
@@ -400,7 +400,7 @@ class Hypervisor:
         handle = self.cvm_handles[cvm_id]
         self.ledger.charge(Category.HYP_LOGIC, self.costs.hyp_sched_pass)
         backing = self.allocator.alloc(size=size)
-        self.bus.dram.zero_range(backing, size)
+        self.bus.cpu_zero_range(self.hart, backing, size)
         accessor = _HypAccessor(self.bus, self.hart)
         root_index = handle.layout.shared_base >> 30
         subtree = handle.shared_subtrees[root_index]
@@ -408,7 +408,7 @@ class Hypervisor:
         old_size = handle.shared_window_size
         for offset in range(0, size, PAGE_SIZE):
             gpa = handle.layout.shared_base + old_size + offset
-            self._map_in_subtree(accessor, subtree, gpa, backing + offset, flags)
+            self._map_in_subtree(accessor, self.hart, subtree, gpa, backing + offset, flags)
         handle.shared_window_size = old_size + size
         return handle.layout.shared_base + old_size
 

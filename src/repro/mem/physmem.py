@@ -210,6 +210,16 @@ class MemoryBus:
         self._cpu_check(hart, addr, 8, AccessType.STORE)
         self.dram.write_u64(addr, value)
 
+    def cpu_zero_range(self, hart, addr: int, size: int) -> None:
+        """PMP-checked bulk zeroing (the host's page-scrub primitive).
+
+        One store-permission check over the whole range, then the raw
+        sparse-aware clear: a scrub that strays into secure memory
+        faults exactly like any other hypervisor store.
+        """
+        self._cpu_check(hart, addr, size, AccessType.STORE)
+        self.dram.zero_range(addr, size)
+
     def cpu_fetch_check(self, hart, addr: int, size: int = 4) -> None:
         """PMP check for an instruction fetch (no data returned)."""
         self._cpu_check(hart, addr, size, AccessType.FETCH)

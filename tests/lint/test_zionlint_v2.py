@@ -373,3 +373,44 @@ class TestZL5Concurrency:
     def test_live_tree_is_zl5_clean(self):
         report = run_lint(None)
         assert [f for f in report.all_findings if f.rule == "ZL5"] == []
+
+
+# -- ZL1: raw-DRAM denial ----------------------------------------------------
+
+
+class TestZL1RawDram:
+    def test_raw_dram_attribute_denied_in_hyp(self, tmp_path):
+        _write(
+            tmp_path,
+            "hyp/scrub.py",
+            """
+            class Host:
+                def __init__(self, bus):
+                    self.bus = bus
+
+                def scrub(self, pa):
+                    self.bus.dram.zero_range(pa, 4096)
+            """,
+        )
+        report = run_lint([tmp_path])
+        hits = [f for f in report.new if f.rule == "ZL1"]
+        assert len(hits) == 1
+        assert ".dram" in hits[0].message
+        assert "PMP" in hits[0].why
+
+    def test_checked_bus_scrub_is_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "hyp/scrub_ok.py",
+            """
+            class Host:
+                def __init__(self, bus, hart):
+                    self.bus = bus
+                    self.hart = hart
+
+                def scrub(self, pa):
+                    self.bus.cpu_zero_range(self.hart, pa, 4096)
+            """,
+        )
+        report = run_lint([tmp_path])
+        assert [f for f in report.new if f.rule == "ZL1"] == []
