@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install verify test bench bench-full experiments faults perf perf-compare lint linkcheck redis-cluster fleet virtio-batch examples clean
+.PHONY: install verify test bench bench-full experiments faults perf perf-compare lint lint-changed lint-strict linkcheck redis-cluster fleet virtio-batch examples clean
 
 install:
 	pip install -e .
@@ -37,6 +37,17 @@ perf-compare:
 # Fails on findings that are neither pragma-suppressed nor baselined.
 lint:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro lint
+
+# Diff-aware pre-commit lint: full-package analysis, findings reported
+# only for files that differ from HEAD.
+lint-changed:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro lint --changed
+
+# Strict lint: the baseline earns no credit (pragmas still count), plus
+# the ratchet check that the committed baseline has not grown.
+lint-strict:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro lint --strict
+	$(PYTHON) tools/check_baseline_ratchet.py
 
 # Sharded redis over SM channels, one run with stats (docs/DATA_PLANE.md).
 redis-cluster:

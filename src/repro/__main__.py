@@ -19,7 +19,8 @@ Commands:
   per-scenario wall/cycle deltas against a previous report, ``--gate``
   fails on >10% wall-time regression over the committed quick-mode
   baseline (median of ``--runs``);
-- ``lint [paths] [--json] [--baseline FILE]`` — zionlint, the static
+- ``lint [paths] [--json] [--baseline FILE] [--changed [REF]]
+  [--strict]`` — zionlint, the static
   trust-boundary/taint/charging analyzer for the SM seam (INTERNALS
   §12); exits non-zero on findings that are neither pragma-suppressed
   nor baselined;

@@ -131,8 +131,42 @@ class LintReport:
         }
 
 
-def run_lint(paths=None, baseline_keys=frozenset()) -> LintReport:
-    """Lint ``paths`` (default: the whole ``repro`` package)."""
+def changed_files(ref: str = "HEAD") -> set[str]:
+    """Repo-relative ``.py`` paths that differ from ``ref`` (git diff).
+
+    Covers staged and unstaged edits plus committed divergence from
+    ``ref``; output paths match the display paths findings carry, so
+    the set can be handed straight to :func:`run_lint`'s ``only``.
+    """
+    import subprocess
+
+    repo_root = _package_root().parent.parent
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", ref, "--"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"git diff --name-only {ref} failed: {proc.stderr.strip()}"
+        )
+    return {
+        line.strip()
+        for line in proc.stdout.splitlines()
+        if line.strip().endswith(".py")
+    }
+
+
+def run_lint(paths=None, baseline_keys=frozenset(), only=None) -> LintReport:
+    """Lint ``paths`` (default: the whole ``repro`` package).
+
+    ``only`` restricts *reporting* to findings whose display path is in
+    the given set, without shrinking the analysis scope: the whole
+    package is still parsed into the project model, so interprocedural
+    results (caller-side charging, cross-module taint) stay identical
+    to a full run -- a diff-aware mode, not a partial one.
+    """
     files = discover_files(paths)
     raw: list[Finding] = []
     pragma_maps: list[tuple[PragmaMap, Path]] = []
@@ -188,12 +222,19 @@ def run_lint(paths=None, baseline_keys=frozenset()) -> LintReport:
         else:
             new.append(finding)
 
+    report_files = len(files)
+    if only is not None:
+        new = [f for f in new if f.path in only]
+        suppressed = [f for f in suppressed if f.path in only]
+        baselined = [f for f in baselined if f.path in only]
+        report_files = sum(1 for _, display, _, _ in parsed if display in only)
+
     return LintReport(
         new=new,
         pragma_suppressed=suppressed,
         baselined=baselined,
         pragma_count=sum(len(pm) for pm, _ in pragma_maps),
-        files=len(files),
+        files=report_files,
     )
 
 
@@ -219,6 +260,22 @@ def add_arguments(parser) -> None:
         help="rewrite the baseline to accept every current finding",
     )
     parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="only report findings in files that differ from REF "
+        "(git diff; default HEAD) -- the whole package is still "
+        "analyzed, so interprocedural results match a full run",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="ignore the baseline: every finding that is not "
+        "pragma-suppressed fails the run",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the JSON report on stdout instead of human output",
@@ -240,13 +297,31 @@ def run_cli(args) -> int:
         print(f"zionlint: {exc}", file=sys.stderr)
         return 2
 
+    if getattr(args, "strict", False):
+        baseline_keys = frozenset()
+
+    only = None
+    if getattr(args, "changed", None):
+        try:
+            only = changed_files(args.changed)
+        except RuntimeError as exc:
+            print(f"zionlint: {exc}", file=sys.stderr)
+            return 2
+
     try:
-        report = run_lint(args.paths or None, baseline_keys)
+        report = run_lint(args.paths or None, baseline_keys, only=only)
     except SyntaxError as exc:
         print(f"zionlint: cannot parse {exc.filename}: {exc}", file=sys.stderr)
         return 2
 
     if args.update_baseline:
+        if only is not None:
+            print(
+                "zionlint: --update-baseline cannot be combined with "
+                "--changed (a filtered run would drop accepted findings)",
+                file=sys.stderr,
+            )
+            return 2
         save_baseline(baseline_path, {f.key for f in report.new + report.baselined})
         print(
             f"zionlint: baseline {baseline_path} updated "

@@ -414,3 +414,121 @@ class TestZL1RawDram:
         )
         report = run_lint([tmp_path])
         assert [f for f in report.new if f.rule == "ZL1"] == []
+
+
+# -- diff-aware / strict CLI and the baseline ratchet ------------------------
+
+
+class TestDiffAwareAndStrict:
+    def test_only_filter_restricts_reporting_not_analysis(self, tmp_path):
+        for name in ("alpha", "beta"):
+            _write(
+                tmp_path,
+                f"hyp/{name}.py",
+                """
+                def leak(monitor):
+                    return monitor.cvms
+                """,
+            )
+        full = run_lint([tmp_path])
+        assert len(full.new) == 2
+        keep = full.new[0].path
+        filtered = run_lint([tmp_path], only={keep})
+        assert [f.path for f in filtered.new] == [keep]
+        assert filtered.files == 1
+
+    def test_cli_changed_mode_is_clean_on_live_tree(self):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["lint", "--changed", "HEAD"]) == 0
+
+    def test_cli_changed_bad_ref_is_usage_error(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["lint", "--changed", "not-a-real-ref"]) == 2
+        assert "git diff" in capsys.readouterr().err
+
+    def test_cli_strict_live_tree_still_clean(self):
+        # The committed baseline is empty, so strict mode must agree
+        # with the normal gate on the live tree.
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["lint", "--strict"]) == 0
+
+    def test_cli_strict_denies_baselined_findings(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        _write(
+            tmp_path,
+            "hyp/leaky.py",
+            """
+            def leak(monitor):
+                return monitor.cvms
+            """,
+        )
+        baseline = tmp_path / "baseline.json"
+        assert (
+            cli_main(
+                ["lint", str(tmp_path / "hyp"), "--baseline", str(baseline),
+                 "--update-baseline"]
+            )
+            == 0
+        )
+        assert (
+            cli_main(["lint", str(tmp_path / "hyp"), "--baseline", str(baseline)])
+            == 0
+        )
+        assert (
+            cli_main(
+                ["lint", str(tmp_path / "hyp"), "--baseline", str(baseline),
+                 "--strict"]
+            )
+            == 1
+        )
+
+    def test_cli_changed_refuses_update_baseline(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        code = cli_main(
+            ["lint", "--changed", "HEAD", "--update-baseline",
+             "--baseline", str(tmp_path / "b.json")]
+        )
+        assert code == 2
+        assert "--changed" in capsys.readouterr().err
+
+
+class TestBaselineRatchet:
+    def _module(self):
+        import importlib.util
+        import pathlib
+
+        script = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "tools"
+            / "check_baseline_ratchet.py"
+        )
+        spec = importlib.util.spec_from_file_location("ratchet", script)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_committed_baseline_is_within_the_pin(self, capsys):
+        mod = self._module()
+        assert mod.main() == 0
+
+    def test_grown_baseline_fails(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        mod = self._module()
+        grown = tmp_path / "baseline.json"
+        grown.write_text(
+            json.dumps({"version": 1, "suppressions": ["ZL1|x|f|m"]})
+        )
+        monkeypatch.setattr(mod, "BASELINE", grown)
+        assert mod.main() == 1
+        assert "ratchet" in capsys.readouterr().out
+
+    def test_unreadable_baseline_is_an_error(self, tmp_path, monkeypatch):
+        mod = self._module()
+        monkeypatch.setattr(mod, "BASELINE", tmp_path / "missing.json")
+        assert mod.main() == 2

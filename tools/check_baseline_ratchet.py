@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fail CI if the committed zionlint baseline grows.
+
+The baseline is a ratchet: accepted findings may only ever be burned
+down, never quietly accumulated.  The allowed size is pinned here --
+adding a baselined finding therefore requires editing this constant in
+the same change, which is exactly the reviewable speed bump the ratchet
+exists to create.  When the baseline shrinks, lower the pin to lock the
+progress in.
+
+Exit status: 0 when the baseline is at or below the pin, 1 when it
+grew, 2 when the baseline file is unreadable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / (
+    "src/repro/lint/baseline.json"
+)
+
+#: Maximum number of baselined findings the tree may carry.  Lower this
+#: whenever the baseline shrinks; raising it is a reviewed decision.
+MAX_BASELINED = 0
+
+
+def main() -> int:
+    try:
+        data = json.loads(BASELINE.read_text(encoding="utf-8"))
+        suppressions = data["suppressions"]
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"baseline ratchet: cannot read {BASELINE}: {exc}")
+        return 2
+    count = len(suppressions)
+    if count > MAX_BASELINED:
+        print(
+            f"baseline ratchet: {BASELINE.name} holds {count} accepted "
+            f"finding(s), over the pinned maximum of {MAX_BASELINED}. "
+            "Fix the findings (or suppress them with a reasoned pragma) "
+            "instead of baselining; a deliberate grow must raise "
+            "MAX_BASELINED in tools/check_baseline_ratchet.py in the "
+            "same change."
+        )
+        return 1
+    if count < MAX_BASELINED:
+        print(
+            f"baseline ratchet: baseline shrank to {count} (pin is "
+            f"{MAX_BASELINED}) -- lower MAX_BASELINED to lock it in."
+        )
+    else:
+        print(f"baseline ratchet: OK ({count}/{MAX_BASELINED} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
